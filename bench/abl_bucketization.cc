@@ -1,0 +1,59 @@
+// Ablation: isolates Section 5.2.3's claim — Hybrid's bucketization
+// removes SSO's score re-sorting. Runs the same encoded plan in both
+// evaluator modes and reports the sorted-item volume each paid, plus the
+// peak bucket count (buckets stay few because scores are mask-derived).
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "exec/evaluator.h"
+#include "exec/plan.h"
+#include "relax/schedule.h"
+
+namespace {
+
+using flexpath::bench_util::GetFixture;
+
+
+void BM_EvaluatorMode(benchmark::State& state, flexpath::EvalMode mode) {
+  auto& fixture = GetFixture(static_cast<uint64_t>(
+      flexpath::bench_util::MediumDocMb() * 1024 * 1024));
+  flexpath::Tpq q = fixture.Parse(flexpath::bench_util::kQ3);
+  flexpath::PenaltyModel pm(q, fixture.stats.get(), fixture.ir.get(),
+                            flexpath::Weights{});
+  // Encode the full relaxation chain, as keyword-first would.
+  std::vector<flexpath::ScheduleEntry> schedule =
+      flexpath::BuildSchedule(q, pm);
+  const flexpath::ScheduleEntry& last = schedule.back();
+  flexpath::Result<flexpath::JoinPlan> plan = flexpath::JoinPlan::Build(
+      q, last.relaxed, last.dropped, pm, flexpath::Weights{});
+  if (!plan.ok()) {
+    state.SkipWithError(plan.status().ToString().c_str());
+    return;
+  }
+  flexpath::PlanEvaluator evaluator(fixture.index.get(), fixture.ir.get());
+  const size_t k = static_cast<size_t>(state.range(0));
+  flexpath::ExecCounters counters;
+  for (auto _ : state) {
+    counters = flexpath::ExecCounters{};
+    auto answers =
+        evaluator.Evaluate(*plan, mode, k,
+                           flexpath::RankScheme::kStructureFirst, 0.0,
+                           &counters);
+    benchmark::DoNotOptimize(answers);
+  }
+  state.counters["score_sorted_items"] =
+      static_cast<double>(counters.score_sorted_items);
+  state.counters["tuples"] = static_cast<double>(counters.tuples_created);
+  state.counters["buckets_peak"] =
+      static_cast<double>(counters.buckets_peak);
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_EvaluatorMode, SsoFlat, flexpath::EvalMode::kSsoFlat)
+    ->Arg(50)->Arg(200)->Arg(600);
+BENCHMARK_CAPTURE(BM_EvaluatorMode, HybridBuckets,
+                  flexpath::EvalMode::kHybridBuckets)
+    ->Arg(50)->Arg(200)->Arg(600);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+// Ablation: the stack-based structural join of Al-Khalifa et al. [1]
+// (the primitive under every FleXPath plan) vs a nested-loop baseline,
+// on real XMark tag lists of growing size. Justifies the design choice
+// called out in DESIGN.md ("interval encoding + merge joins").
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "exec/structural_join.h"
+
+namespace {
+
+void BM_StackJoin(benchmark::State& state) {
+  using flexpath::bench_util::GetFixture;
+
+  auto& fixture = flexpath::bench_util::GetFixtureMb(
+      static_cast<double>(state.range(0)));
+  const flexpath::TagDict& dict = std::as_const(fixture.corpus).tags();
+  const auto& items = fixture.index->Scan(dict.Lookup("item"));
+  const auto& texts = fixture.index->Scan(dict.Lookup("text"));
+  for (auto _ : state) {
+    auto pairs =
+        flexpath::StructuralJoin(fixture.corpus, items, texts, false);
+    benchmark::DoNotOptimize(pairs);
+  }
+  state.counters["ancestors"] = static_cast<double>(items.size());
+  state.counters["descendants"] = static_cast<double>(texts.size());
+}
+
+void BM_NestedLoopJoin(benchmark::State& state) {
+  using flexpath::bench_util::GetFixture;
+
+  auto& fixture = flexpath::bench_util::GetFixtureMb(
+      static_cast<double>(state.range(0)));
+  const flexpath::TagDict& dict = std::as_const(fixture.corpus).tags();
+  const auto& items = fixture.index->Scan(dict.Lookup("item"));
+  const auto& texts = fixture.index->Scan(dict.Lookup("text"));
+  for (auto _ : state) {
+    auto pairs =
+        flexpath::NestedLoopJoin(fixture.corpus, items, texts, false);
+    benchmark::DoNotOptimize(pairs);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_StackJoin)->Arg(1)->Arg(5)->Arg(10);
+BENCHMARK(BM_NestedLoopJoin)->Arg(1)->Arg(5);
+
+BENCHMARK_MAIN();

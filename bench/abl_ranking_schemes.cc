@@ -1,0 +1,44 @@
+// Ablation: cost of the three ranking schemes (Section 4.3 / 5.1) on a
+// query with a contains predicate. Keyword-first must encode every
+// relaxation (an answer with the worst structural score can still win),
+// so it is the most expensive; structure-first stops earliest; combined
+// sits between, bounded by the ss_j <= ss_i − m pruning rule.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+// Q2 with full-text context: the kind of query the paper's framework is
+// for (structure as a template around keyword search).
+constexpr const char* kFtQuery =
+    "//item[./description/parlist and ./mailbox/mail/text[.contains("
+    "\"gold\" or \"silver\")]]";
+
+void BM_Scheme(benchmark::State& state, flexpath::RankScheme scheme) {
+  using flexpath::bench_util::GetFixture;
+
+  auto& fixture = flexpath::bench_util::GetFixtureMb(5.0);
+  flexpath::Tpq q = fixture.Parse(kFtQuery);
+  flexpath::TopKResult result;
+  for (auto _ : state) {
+    result = flexpath::bench_util::RunTopK(
+        fixture, q, flexpath::Algorithm::kHybrid, 100, scheme);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["relaxations"] =
+      static_cast<double>(result.relaxations_used);
+  state.counters["answers"] = static_cast<double>(result.answers.size());
+  state.counters["tuples"] =
+      static_cast<double>(result.counters.tuples_created);
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_Scheme, StructureFirst,
+                  flexpath::RankScheme::kStructureFirst);
+BENCHMARK_CAPTURE(BM_Scheme, KeywordFirst,
+                  flexpath::RankScheme::kKeywordFirst);
+BENCHMARK_CAPTURE(BM_Scheme, Combined, flexpath::RankScheme::kCombined);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+#include "bench/bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "query/xpath_parser.h"
+#include "xmark/generator.h"
+
+namespace flexpath {
+namespace bench_util {
+
+Tpq Fixture::Parse(const char* xpath) {
+  Result<Tpq> q = ParseXPath(xpath, corpus.tags());
+  if (!q.ok()) {
+    std::fprintf(stderr, "bench query parse failed: %s\n",
+                 q.status().ToString().c_str());
+    std::abort();
+  }
+  return *std::move(q);
+}
+
+Fixture& GetFixture(uint64_t bytes) {
+  // Cached for the binary's lifetime; intentionally leaked (benchmarks
+  // exit right after, and fixture teardown order vs. static destructors
+  // is not worth the risk).
+  static auto& cache = *new std::map<uint64_t, Fixture*>();
+  auto it = cache.find(bytes);
+  if (it != cache.end()) return *it->second;
+
+  auto* fixture = new Fixture();
+  XMarkOptions opts;
+  opts.target_bytes = bytes;
+  opts.seed = 42;
+  Result<Document> doc = GenerateXMark(opts, fixture->corpus.tags());
+  if (!doc.ok()) {
+    std::fprintf(stderr, "xmark generation failed: %s\n",
+                 doc.status().ToString().c_str());
+    std::abort();
+  }
+  fixture->corpus.Add(std::move(doc).value());
+  fixture->index = std::make_unique<ElementIndex>(&fixture->corpus);
+  fixture->stats = std::make_unique<DocumentStats>(&fixture->corpus);
+  fixture->ir = std::make_unique<IrEngine>(&fixture->corpus);
+  fixture->processor = std::make_unique<TopKProcessor>(
+      fixture->index.get(), fixture->stats.get(), fixture->ir.get());
+  cache.emplace(bytes, fixture);
+  return *fixture;
+}
+
+bool FullScale() {
+  const char* env = std::getenv("FLEXPATH_BENCH_FULL");
+  return env != nullptr && env[0] == '1';
+}
+
+Fixture& GetFixtureMb(double mb) {
+  return GetFixture(static_cast<uint64_t>(mb * 1024.0 * 1024.0));
+}
+
+double SmallDocMb() { return 1.0; }
+
+double MediumDocMb() { return 10.0; }
+
+double LargeDocMb() { return FullScale() ? 100.0 : 20.0; }
+
+double SweepSizeMb(int index) {
+  static constexpr double kFull[] = {1, 5, 10, 25, 50, 100};
+  static constexpr double kDefault[] = {1, 2, 5, 10, 15, 20};
+  return FullScale() ? kFull[index] : kDefault[index];
+}
+
+TopKResult RunTopK(Fixture& fixture, const Tpq& q, Algorithm algo, size_t k,
+                   RankScheme scheme) {
+  TopKOptions opts;
+  opts.k = k;
+  opts.scheme = scheme;
+  Result<TopKResult> result = fixture.processor->Run(q, algo, opts);
+  if (!result.ok()) {
+    std::fprintf(stderr, "top-k run failed: %s\n",
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  return *std::move(result);
+}
+
+}  // namespace bench_util
+}  // namespace flexpath

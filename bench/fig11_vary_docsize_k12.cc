@@ -1,0 +1,34 @@
+// Figure 11: DPO vs SSO on query Q2 with K = 12, document size 1-100MB.
+// The paper: with K small the two algorithms stay close, since a
+// relaxation is rarely needed (only on the smallest document).
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+// Paper sizes in MB, indexed by the benchmark argument.
+void BM_Fig11(benchmark::State& state, flexpath::Algorithm algo) {
+  const double mb =
+      flexpath::bench_util::SweepSizeMb(static_cast<int>(state.range(0)));
+  auto& fixture = flexpath::bench_util::GetFixtureMb(mb);
+  flexpath::Tpq q = fixture.Parse(flexpath::bench_util::kQ2);
+  flexpath::TopKResult result;
+  for (auto _ : state) {
+    result = flexpath::bench_util::RunTopK(fixture, q, algo, 12);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["mb"] = mb;
+  state.counters["relaxations"] =
+      static_cast<double>(result.relaxations_used);
+  state.counters["answers"] = static_cast<double>(result.answers.size());
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_Fig11, DPO, flexpath::Algorithm::kDpo)
+    ->DenseRange(0, 5);
+BENCHMARK_CAPTURE(BM_Fig11, SSO, flexpath::Algorithm::kSso)
+    ->DenseRange(0, 5);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,44 @@
+// Figure 13: SSO vs Hybrid on a 10MB document, K = 500, varying the
+// number of relaxations through queries Q1/Q2/Q3. The paper: Hybrid is
+// consistently (if modestly) faster, with the gap growing with the
+// number of relaxations — the score re-sorts SSO pays scale with the
+// encoded relaxations.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+void BM_Fig13(benchmark::State& state, flexpath::Algorithm algo,
+              const char* query) {
+  auto& fixture = flexpath::bench_util::GetFixtureMb(
+      flexpath::bench_util::MediumDocMb());
+  flexpath::Tpq q = fixture.Parse(query);
+  flexpath::TopKResult result;
+  for (auto _ : state) {
+    result = flexpath::bench_util::RunTopK(fixture, q, algo, 500);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["relaxations"] =
+      static_cast<double>(result.relaxations_used);
+  state.counters["score_sorted_items"] =
+      static_cast<double>(result.counters.score_sorted_items);
+  state.counters["answers"] = static_cast<double>(result.answers.size());
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_Fig13, Q1_SSO, flexpath::Algorithm::kSso,
+                  flexpath::bench_util::kQ1);
+BENCHMARK_CAPTURE(BM_Fig13, Q1_Hybrid, flexpath::Algorithm::kHybrid,
+                  flexpath::bench_util::kQ1);
+BENCHMARK_CAPTURE(BM_Fig13, Q2_SSO, flexpath::Algorithm::kSso,
+                  flexpath::bench_util::kQ2);
+BENCHMARK_CAPTURE(BM_Fig13, Q2_Hybrid, flexpath::Algorithm::kHybrid,
+                  flexpath::bench_util::kQ2);
+BENCHMARK_CAPTURE(BM_Fig13, Q3_SSO, flexpath::Algorithm::kSso,
+                  flexpath::bench_util::kQ3);
+BENCHMARK_CAPTURE(BM_Fig13, Q3_Hybrid, flexpath::Algorithm::kHybrid,
+                  flexpath::bench_util::kQ3);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,33 @@
+// Figure 14: SSO vs Hybrid on query Q3 with K = 500, document size
+// 1-100MB. The paper: Hybrid helps even on small documents, because SSO
+// may sort large intermediate sets; the gap grows with document size.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+void BM_Fig14(benchmark::State& state, flexpath::Algorithm algo) {
+  const double mb =
+      flexpath::bench_util::SweepSizeMb(static_cast<int>(state.range(0)));
+  auto& fixture = flexpath::bench_util::GetFixtureMb(mb);
+  flexpath::Tpq q = fixture.Parse(flexpath::bench_util::kQ3);
+  flexpath::TopKResult result;
+  for (auto _ : state) {
+    result = flexpath::bench_util::RunTopK(fixture, q, algo, 500);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["mb"] = mb;
+  state.counters["score_sorted_items"] =
+      static_cast<double>(result.counters.score_sorted_items);
+  state.counters["answers"] = static_cast<double>(result.answers.size());
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_Fig14, SSO, flexpath::Algorithm::kSso)
+    ->DenseRange(0, 5);
+BENCHMARK_CAPTURE(BM_Fig14, Hybrid, flexpath::Algorithm::kHybrid)
+    ->DenseRange(0, 5);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,32 @@
+// Figure 15: SSO vs Hybrid on query Q3 over a 10MB document, K from 50
+// to 600. The paper: SSO is more sensitive to K than Hybrid, because the
+// size of the intermediate sets it re-sorts depends on K.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+void BM_Fig15(benchmark::State& state, flexpath::Algorithm algo) {
+  auto& fixture = flexpath::bench_util::GetFixtureMb(
+      flexpath::bench_util::MediumDocMb());
+  flexpath::Tpq q = fixture.Parse(flexpath::bench_util::kQ3);
+  const size_t k = static_cast<size_t>(state.range(0));
+  flexpath::TopKResult result;
+  for (auto _ : state) {
+    result = flexpath::bench_util::RunTopK(fixture, q, algo, k);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["score_sorted_items"] =
+      static_cast<double>(result.counters.score_sorted_items);
+  state.counters["answers"] = static_cast<double>(result.answers.size());
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_Fig15, SSO, flexpath::Algorithm::kSso)
+    ->Arg(50)->Arg(100)->Arg(200)->Arg(300)->Arg(400)->Arg(500)->Arg(600);
+BENCHMARK_CAPTURE(BM_Fig15, Hybrid, flexpath::Algorithm::kHybrid)
+    ->Arg(50)->Arg(100)->Arg(200)->Arg(300)->Arg(400)->Arg(500)->Arg(600);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,32 @@
+// Figure 16: SSO vs Hybrid on query Q3 over a 100MB document, K from 50
+// to 600 — Figure 15's sweep at the largest document size, where the
+// re-sorted intermediate sets are biggest and Hybrid's advantage widest.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+void BM_Fig16(benchmark::State& state, flexpath::Algorithm algo) {
+  auto& fixture = flexpath::bench_util::GetFixtureMb(
+      flexpath::bench_util::LargeDocMb());
+  flexpath::Tpq q = fixture.Parse(flexpath::bench_util::kQ3);
+  const size_t k = static_cast<size_t>(state.range(0));
+  flexpath::TopKResult result;
+  for (auto _ : state) {
+    result = flexpath::bench_util::RunTopK(fixture, q, algo, k);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["score_sorted_items"] =
+      static_cast<double>(result.counters.score_sorted_items);
+  state.counters["answers"] = static_cast<double>(result.answers.size());
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_Fig16, SSO, flexpath::Algorithm::kSso)
+    ->Arg(50)->Arg(100)->Arg(200)->Arg(300)->Arg(400)->Arg(500)->Arg(600);
+BENCHMARK_CAPTURE(BM_Fig16, Hybrid, flexpath::Algorithm::kHybrid)
+    ->Arg(50)->Arg(100)->Arg(200)->Arg(300)->Arg(400)->Arg(500)->Arg(600);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,222 @@
+// flexpath_cli: an interactive shell around the FleXPath engine.
+//
+//   flexpath_cli file1.xml file2.xml ...     # load documents, then REPL
+//   flexpath_cli --xmark 5                   # 5MB of generated data
+//
+// Commands (one per line):
+//   <xpath>                    run a top-K query (default settings)
+//   :k N                       set K (default 10)
+//   :algo dpo|sso|hybrid       choose the top-K algorithm
+//   :scheme structure|keyword|combined
+//   :explain <xpath>           show closure, operators and the schedule
+//   :synonym A B               register B as a synonym of A
+//   :subtype SUPER SUB         declare SUB a subtype of SUPER (pre-Build
+//                              only, so available via --prelude)
+//   :stats                     corpus statistics
+//   :help / :quit
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/string_util.h"
+#include "core/flexpath.h"
+#include "query/logical.h"
+#include "relax/operators.h"
+#include "relax/penalty.h"
+#include "relax/schedule.h"
+#include "xmark/generator.h"
+
+namespace {
+
+struct CliState {
+  flexpath::FlexPath fp;
+  size_t k = 10;
+  flexpath::Algorithm algo = flexpath::Algorithm::kHybrid;
+  flexpath::RankScheme scheme = flexpath::RankScheme::kStructureFirst;
+};
+
+void PrintHelp() {
+  std::printf(
+      "  <xpath>                  run a top-K query\n"
+      "  :k N                     set K (current answers cap)\n"
+      "  :algo dpo|sso|hybrid     choose the algorithm\n"
+      "  :scheme structure|keyword|combined\n"
+      "  :explain <xpath>         closure, operators, schedule\n"
+      "  :synonym A B             thesaurus entry (B relaxes A)\n"
+      "  :stats                   corpus statistics\n"
+      "  :help, :quit\n");
+}
+
+void RunQuery(CliState& state, const std::string& xpath) {
+  flexpath::TopKOptions opts;
+  opts.k = state.k;
+  opts.scheme = state.scheme;
+  flexpath::Result<std::vector<flexpath::QueryAnswer>> answers =
+      state.fp.Query(xpath, opts, state.algo);
+  if (!answers.ok()) {
+    std::printf("error: %s\n", answers.status().ToString().c_str());
+    return;
+  }
+  if (answers->empty()) {
+    std::printf("(no answers)\n");
+    return;
+  }
+  int rank = 1;
+  for (const flexpath::QueryAnswer& a : *answers) {
+    std::printf("%3d. <%s> ss=%.3f ks=%.3f  %.70s\n", rank++,
+                a.tag.c_str(), a.score.ss, a.score.ks, a.snippet.c_str());
+  }
+}
+
+void Explain(CliState& state, const std::string& xpath) {
+  flexpath::Result<flexpath::Tpq> q = state.fp.Parse(xpath);
+  if (!q.ok()) {
+    std::printf("error: %s\n", q.status().ToString().c_str());
+    return;
+  }
+  const flexpath::TagDict& dict = std::as_const(state.fp.corpus()).tags();
+  std::printf("pattern: %s\n", state.fp.Describe(*q).c_str());
+  flexpath::LogicalQuery closure =
+      flexpath::Closure(flexpath::ToLogical(*q));
+  std::printf("closure: %s\n", closure.ToString(&dict).c_str());
+  std::printf("operators:\n");
+  for (const flexpath::RelaxOp& op : flexpath::ApplicableOps(*q)) {
+    std::printf("  %s\n", op.ToString().c_str());
+  }
+  flexpath::PenaltyModel pm(*q, state.fp.stats(), state.fp.ir_engine(),
+                            flexpath::Weights{});
+  std::printf("schedule:\n");
+  for (const flexpath::ScheduleEntry& e : flexpath::BuildSchedule(*q, pm)) {
+    std::printf("  pi=%.4f cum=%.4f %-24s %s\n", e.step_penalty,
+                e.cumulative_penalty, e.op.ToString().c_str(),
+                state.fp.Describe(e.relaxed).c_str());
+  }
+}
+
+void PrintStats(CliState& state) {
+  const flexpath::Corpus& corpus = state.fp.corpus();
+  std::printf("documents: %zu, elements: %zu, distinct tags: %zu\n",
+              corpus.size(), corpus.TotalNodes(),
+              std::as_const(corpus).tags().size());
+}
+
+int Repl(CliState& state) {
+  std::printf("FleXPath ready. :help for commands.\n");
+  std::string line;
+  while (std::printf("flexpath> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    std::string_view trimmed = flexpath::Trim(line);
+    if (trimmed.empty()) continue;
+    if (trimmed[0] != ':') {
+      RunQuery(state, std::string(trimmed));
+      continue;
+    }
+    std::istringstream words{std::string(trimmed)};
+    std::string cmd;
+    words >> cmd;
+    if (cmd == ":quit" || cmd == ":q" || cmd == ":exit") break;
+    if (cmd == ":help") {
+      PrintHelp();
+    } else if (cmd == ":k") {
+      size_t k = 0;
+      if (words >> k && k > 0) {
+        state.k = k;
+        std::printf("k = %zu\n", state.k);
+      } else {
+        std::printf("usage: :k N\n");
+      }
+    } else if (cmd == ":algo") {
+      std::string name;
+      words >> name;
+      if (name == "dpo") {
+        state.algo = flexpath::Algorithm::kDpo;
+      } else if (name == "sso") {
+        state.algo = flexpath::Algorithm::kSso;
+      } else if (name == "hybrid") {
+        state.algo = flexpath::Algorithm::kHybrid;
+      } else {
+        std::printf("usage: :algo dpo|sso|hybrid\n");
+        continue;
+      }
+      std::printf("algorithm = %s\n", flexpath::AlgorithmName(state.algo));
+    } else if (cmd == ":scheme") {
+      std::string name;
+      words >> name;
+      if (name == "structure") {
+        state.scheme = flexpath::RankScheme::kStructureFirst;
+      } else if (name == "keyword") {
+        state.scheme = flexpath::RankScheme::kKeywordFirst;
+      } else if (name == "combined") {
+        state.scheme = flexpath::RankScheme::kCombined;
+      } else {
+        std::printf("usage: :scheme structure|keyword|combined\n");
+        continue;
+      }
+      std::printf("scheme = %s\n", flexpath::RankSchemeName(state.scheme));
+    } else if (cmd == ":explain") {
+      std::string rest;
+      std::getline(words, rest);
+      Explain(state, std::string(flexpath::Trim(rest)));
+    } else if (cmd == ":synonym") {
+      std::string a, b;
+      if (words >> a >> b) {
+        state.fp.thesaurus()->AddSynonym(a, b);
+        std::printf("synonym registered\n");
+      } else {
+        std::printf("usage: :synonym A B\n");
+      }
+    } else if (cmd == ":stats") {
+      PrintStats(state);
+    } else {
+      std::printf("unknown command %s (:help)\n", cmd.c_str());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliState state;
+  bool loaded = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--xmark") == 0 && i + 1 < argc) {
+      flexpath::XMarkOptions opts;
+      opts.target_bytes = static_cast<uint64_t>(
+          std::atof(argv[++i]) * 1024 * 1024);
+      opts.seed = 42;
+      flexpath::Result<flexpath::Document> doc =
+          flexpath::GenerateXMark(opts, state.fp.tags());
+      if (!doc.ok()) {
+        std::fprintf(stderr, "%s\n", doc.status().ToString().c_str());
+        return 1;
+      }
+      state.fp.AddDocument(std::move(doc).value());
+      loaded = true;
+      continue;
+    }
+    flexpath::Result<flexpath::DocId> id = state.fp.AddDocumentFile(argv[i]);
+    if (!id.ok()) {
+      std::fprintf(stderr, "%s: %s\n", argv[i],
+                   id.status().ToString().c_str());
+      return 1;
+    }
+    loaded = true;
+  }
+  if (!loaded) {
+    std::fprintf(stderr,
+                 "usage: %s [--xmark MB] [file.xml ...]\n"
+                 "loads documents, then starts an interactive shell\n",
+                 argv[0]);
+    return 2;
+  }
+  if (flexpath::Status st = state.fp.Build(); !st.ok()) {
+    std::fprintf(stderr, "build failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  PrintStats(state);
+  return Repl(state);
+}

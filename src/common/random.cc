@@ -1,0 +1,95 @@
+#include "common/random.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace flexpath {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t s = seed;
+  for (auto& word : state_) word = SplitMix64(s);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::Uniform(uint64_t bound) {
+  assert(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = -bound % bound;
+  for (;;) {
+    const uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::UniformRange(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  Uniform(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+uint64_t Rng::Zipf(uint64_t n, double s) {
+  assert(n > 0);
+  // Inverse-CDF sampling over the (small-n) harmonic weights. XMark word
+  // lists are a few thousand entries, so the linear scan is fine; we cache
+  // nothing because callers draw with varying n.
+  double h = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) h += 1.0 / std::pow(static_cast<double>(i), s);
+  double u = NextDouble() * h;
+  double acc = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i), s);
+    if (u <= acc) return i - 1;
+  }
+  return n - 1;
+}
+
+size_t Rng::Weighted(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  assert(total > 0.0);
+  double u = NextDouble() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (u <= acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace flexpath

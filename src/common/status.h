@@ -1,0 +1,122 @@
+#ifndef FLEXPATH_COMMON_STATUS_H_
+#define FLEXPATH_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace flexpath {
+
+/// Error categories used across the library. The library does not throw
+/// exceptions; fallible operations return a Status (or a Result<T>).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Malformed input supplied by the caller.
+  kParseError,        ///< XML / XPath / full-text expression syntax error.
+  kNotFound,          ///< A requested entity (tag, document, ...) is absent.
+  kOutOfRange,        ///< An index or position is out of bounds.
+  kInternal,          ///< An invariant was violated inside the library.
+  kUnimplemented,     ///< The operation is not supported.
+};
+
+/// Returns a stable human-readable name for a status code ("OK",
+/// "InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A lightweight success-or-error value, modeled on the RocksDB / Arrow
+/// idiom. Cheap to copy in the OK case; carries a message otherwise.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Formats as "<CodeName>: <message>" (or "OK").
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error holder: either a T (when status().ok()) or an error
+/// Status. Dereferencing a non-OK Result is a programming error (asserts).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value; mirrors absl::StatusOr ergonomics.
+  Result(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+  /// Implicit construction from an error status (must not be OK).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace flexpath
+
+/// Propagates a non-OK Status from an expression, RocksDB-style.
+#define FLEXPATH_RETURN_IF_ERROR(expr)              \
+  do {                                              \
+    ::flexpath::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                      \
+  } while (0)
+
+#endif  // FLEXPATH_COMMON_STATUS_H_

@@ -1,0 +1,34 @@
+#ifndef FLEXPATH_COMMON_STRING_UTIL_H_
+#define FLEXPATH_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace flexpath {
+
+/// Returns `s` lowercased (ASCII only; XML tag names and query keywords in
+/// this library are ASCII).
+std::string ToLowerAscii(std::string_view s);
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// True if `s` begins with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// True if `s` ends with `suffix`.
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Escapes the five XML special characters (& < > " ') for serialization.
+std::string XmlEscape(std::string_view s);
+
+}  // namespace flexpath
+
+#endif  // FLEXPATH_COMMON_STRING_UTIL_H_

@@ -1,0 +1,106 @@
+#include "core/flexpath.h"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace flexpath {
+
+FlexPath::FlexPath(TokenizerOptions tokenizer_opts)
+    : tokenizer_opts_(tokenizer_opts) {}
+
+FlexPath::~FlexPath() = default;
+
+Result<DocId> FlexPath::AddDocumentXml(std::string_view xml) {
+  if (built_) {
+    return Status::InvalidArgument("cannot add documents after Build()");
+  }
+  return corpus_.AddXml(xml);
+}
+
+Result<DocId> FlexPath::AddDocumentFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return AddDocumentXml(buffer.str());
+}
+
+DocId FlexPath::AddDocument(Document doc) {
+  return corpus_.Add(std::move(doc));
+}
+
+TagDict* FlexPath::tags() { return corpus_.tags(); }
+
+Status FlexPath::Build() {
+  if (built_) return Status::InvalidArgument("Build() already called");
+  if (corpus_.size() == 0) {
+    return Status::InvalidArgument("no documents added");
+  }
+  element_index_ = std::make_unique<ElementIndex>(
+      &corpus_, hierarchy_.empty() ? nullptr : &hierarchy_);
+  stats_ = std::make_unique<DocumentStats>(&corpus_);
+  ir_ = std::make_unique<IrEngine>(&corpus_, tokenizer_opts_);
+  processor_ = std::make_unique<TopKProcessor>(element_index_.get(),
+                                               stats_.get(), ir_.get());
+  built_ = true;
+  return Status::OK();
+}
+
+Result<Tpq> FlexPath::Parse(std::string_view xpath) const {
+  // Interning tags from queries is safe after Build(): unseen tags get
+  // fresh ids with empty scan lists.
+  return ParseXPath(xpath, const_cast<Corpus&>(corpus_).tags(),
+                    tokenizer_opts_);
+}
+
+Result<std::vector<QueryAnswer>> FlexPath::Query(std::string_view xpath,
+                                                 const TopKOptions& opts,
+                                                 Algorithm algo) {
+  Result<Tpq> q = Parse(xpath);
+  if (!q.ok()) return q.status();
+  Result<TopKResult> result = QueryTpq(*q, opts, algo);
+  if (!result.ok()) return result.status();
+
+  std::vector<QueryAnswer> out;
+  out.reserve(result->answers.size());
+  for (const RankedAnswer& a : result->answers) {
+    QueryAnswer qa;
+    qa.node = a.node;
+    qa.score = a.score;
+    qa.tag = std::as_const(corpus_).tags().Name(corpus_.node(a.node).tag);
+    std::string text = corpus_.doc(a.node.doc).SubtreeText(a.node.node);
+    if (text.size() > 120) {
+      text.resize(117);
+      text += "...";
+    }
+    qa.snippet = std::move(text);
+    out.push_back(std::move(qa));
+  }
+  return out;
+}
+
+Result<TopKResult> FlexPath::QueryTpq(const Tpq& q, const TopKOptions& opts,
+                                      Algorithm algo) {
+  if (!built_) return Status::InvalidArgument("call Build() first");
+  if (thesaurus_.size() > 0 && q.ContainsCount() > 0) {
+    Tpq expanded = q;
+    ExpandContains(&expanded);
+    return processor_->Run(expanded, algo, opts);
+  }
+  return processor_->Run(q, algo, opts);
+}
+
+void FlexPath::ExpandContains(Tpq* q) const {
+  for (VarId v : q->Vars()) {
+    for (FtExpr& e : q->mutable_node(v).contains) {
+      e = ExpandWithThesaurus(e, thesaurus_);
+    }
+  }
+}
+
+std::string FlexPath::Describe(const Tpq& q) const {
+  return q.ToString(corpus_.tags());
+}
+
+}  // namespace flexpath

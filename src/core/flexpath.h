@@ -1,0 +1,120 @@
+#ifndef FLEXPATH_CORE_FLEXPATH_H_
+#define FLEXPATH_CORE_FLEXPATH_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/topk.h"
+#include "ir/engine.h"
+#include "ir/thesaurus.h"
+#include "ir/tokenizer.h"
+#include "query/tpq.h"
+#include "query/xpath_parser.h"
+#include "rank/score.h"
+#include "stats/document_stats.h"
+#include "stats/element_index.h"
+#include "xml/corpus.h"
+#include "xml/type_hierarchy.h"
+
+namespace flexpath {
+
+/// One answer as returned by the public API: scores plus enough context
+/// (tag, a snippet of text) to display it.
+struct QueryAnswer {
+  NodeRef node;
+  AnswerScore score;
+  std::string tag;
+  std::string snippet;  ///< First ~120 characters of the subtree text.
+};
+
+/// The FleXPath system (Figure 7): load XML documents, build the indexes,
+/// then run top-K queries whose structural part is interpreted as a
+/// flexible template (Sections 3-5).
+///
+/// Typical usage:
+///   FlexPath fp;
+///   fp.AddDocumentXml(xml_text);
+///   fp.Build();
+///   auto answers = fp.Query("//article[./section[./paragraph and "
+///                           ".contains(\"XML\" and \"streaming\")]]",
+///                           {.k = 10});
+class FlexPath {
+ public:
+  explicit FlexPath(TokenizerOptions tokenizer_opts = {});
+  ~FlexPath();
+
+  FlexPath(const FlexPath&) = delete;
+  FlexPath& operator=(const FlexPath&) = delete;
+
+  /// Parses and adds one XML document. Must be called before Build().
+  Result<DocId> AddDocumentXml(std::string_view xml);
+
+  /// Reads and parses an XML file from disk.
+  Result<DocId> AddDocumentFile(const std::string& path);
+
+  /// Adds an already-built document (built against tags()).
+  DocId AddDocument(Document doc);
+
+  /// Mutable element-type hierarchy for the tag-generalization extension
+  /// (Section 3.4). Populate before Build(); a query node constrained to
+  /// a supertype then matches all of its subtypes.
+  TypeHierarchy* type_hierarchy() { return &hierarchy_; }
+
+  /// Mutable synonym table. When non-empty, contains expressions in
+  /// queries are expanded so each keyword also matches its synonyms
+  /// (Section 3.4's thesaurus relaxation, applied on the IR side).
+  Thesaurus* thesaurus() { return &thesaurus_; }
+
+  /// Direct access to the corpus tag dictionary (for building documents
+  /// programmatically, e.g. with the XMark generator).
+  TagDict* tags();
+
+  /// Freezes the corpus and builds the element index, the inverted
+  /// index/IR engine, and the statistics. Must be called exactly once,
+  /// after all documents are added and before any query.
+  Status Build();
+
+  /// Parses an XPath-fragment query string into a tree pattern.
+  Result<Tpq> Parse(std::string_view xpath) const;
+
+  /// Runs a top-K query (parse + evaluate). Defaults: structure-first
+  /// ranking, the Hybrid algorithm.
+  Result<std::vector<QueryAnswer>> Query(std::string_view xpath,
+                                         const TopKOptions& opts = {},
+                                         Algorithm algo = Algorithm::kHybrid);
+
+  /// Same, for an already-parsed query; also exposes execution counters.
+  Result<TopKResult> QueryTpq(const Tpq& q, const TopKOptions& opts = {},
+                              Algorithm algo = Algorithm::kHybrid);
+
+  /// Renders a query back to text (diagnostics).
+  std::string Describe(const Tpq& q) const;
+
+  // Component access for advanced use (benchmarks, tests).
+  const Corpus& corpus() const { return corpus_; }
+  const ElementIndex* element_index() const { return element_index_.get(); }
+  const DocumentStats* stats() const { return stats_.get(); }
+  IrEngine* ir_engine() { return ir_.get(); }
+  bool built() const { return built_; }
+
+ private:
+  /// Applies the thesaurus to every contains predicate of `q` in place.
+  void ExpandContains(Tpq* q) const;
+
+  TokenizerOptions tokenizer_opts_;
+  Corpus corpus_;
+  TypeHierarchy hierarchy_;
+  Thesaurus thesaurus_;
+  bool built_ = false;
+  std::unique_ptr<ElementIndex> element_index_;
+  std::unique_ptr<DocumentStats> stats_;
+  std::unique_ptr<IrEngine> ir_;
+  std::unique_ptr<TopKProcessor> processor_;
+};
+
+}  // namespace flexpath
+
+#endif  // FLEXPATH_CORE_FLEXPATH_H_

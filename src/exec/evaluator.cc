@@ -1,0 +1,391 @@
+#include "exec/evaluator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <limits>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace flexpath {
+
+namespace {
+
+/// Binding placeholder for a deleted (null) variable.
+constexpr NodeRef kNullRef{UINT32_MAX, UINT32_MAX};
+
+bool IsNull(NodeRef ref) { return ref == kNullRef; }
+
+struct Tuple {
+  std::vector<NodeRef> bindings;
+  uint64_t mask = 0;       ///< Violated optional predicates.
+  double penalty = 0.0;    ///< Σ π over the mask.
+};
+
+/// Hash for NodeRef keys in the answer-bound map.
+struct NodeRefHash {
+  size_t operator()(const NodeRef& r) const {
+    return std::hash<uint64_t>()((static_cast<uint64_t>(r.doc) << 32) |
+                                 r.node);
+  }
+};
+
+/// Exact dominance pruning: tuples that agree on every live binding have
+/// identical futures (same remaining predicate outcomes, same keyword
+/// chains), so only the lowest-penalty one can contribute a top answer.
+/// This keeps independent pattern branches from multiplying the
+/// intermediate result — without it, a query with b branches of m
+/// matches each materializes m^b tuples per answer instead of b*m.
+void DominancePrune(const std::vector<int>& live_steps,
+                    std::vector<Tuple>* tuples) {
+  if (tuples->size() < 2) return;
+  struct KeyHash {
+    const std::vector<Tuple>* tuples;
+    const std::vector<int>* live;
+    size_t operator()(size_t idx) const {
+      size_t h = 0xcbf29ce484222325ULL;
+      for (int s : *live) {
+        const NodeRef r = (*tuples)[idx].bindings[static_cast<size_t>(s)];
+        h ^= NodeRefHash()(r) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      }
+      return h;
+    }
+  };
+  struct KeyEq {
+    const std::vector<Tuple>* tuples;
+    const std::vector<int>* live;
+    bool operator()(size_t a, size_t b) const {
+      for (int s : *live) {
+        if (!((*tuples)[a].bindings[static_cast<size_t>(s)] ==
+              (*tuples)[b].bindings[static_cast<size_t>(s)])) {
+          return false;
+        }
+      }
+      return true;
+    }
+  };
+  std::unordered_map<size_t, size_t, KeyHash, KeyEq> best(
+      16, KeyHash{tuples, &live_steps}, KeyEq{tuples, &live_steps});
+  for (size_t i = 0; i < tuples->size(); ++i) {
+    auto [it, inserted] = best.emplace(i, i);
+    if (!inserted && (*tuples)[i].penalty < (*tuples)[it->second].penalty) {
+      it->second = i;
+    }
+  }
+  if (best.size() == tuples->size()) return;
+  std::vector<Tuple> kept;
+  kept.reserve(best.size());
+  // Preserve document order by scanning in order and keeping winners.
+  std::vector<bool> keep(tuples->size(), false);
+  for (const auto& [key, idx] : best) keep[idx] = true;
+  for (size_t i = 0; i < tuples->size(); ++i) {
+    if (keep[i]) kept.push_back(std::move((*tuples)[i]));
+  }
+  *tuples = std::move(kept);
+}
+
+}  // namespace
+
+void ExecCounters::Add(const ExecCounters& other) {
+  plan_passes += other.plan_passes;
+  candidates_probed += other.candidates_probed;
+  tuples_created += other.tuples_created;
+  tuples_pruned += other.tuples_pruned;
+  score_sorts += other.score_sorts;
+  score_sorted_items += other.score_sorted_items;
+  buckets_peak = std::max(buckets_peak, other.buckets_peak);
+}
+
+std::vector<RankedAnswer> PlanEvaluator::Evaluate(
+    const JoinPlan& plan, EvalMode mode, size_t k, RankScheme scheme,
+    double exact_penalty, ExecCounters* counters) {
+  ExecCounters local;
+  ExecCounters& ctr = counters != nullptr ? *counters : local;
+  ++ctr.plan_passes;
+
+  const Corpus& corpus = index_->corpus();
+  const std::vector<PlanStep>& steps = plan.steps();
+  assert(!steps.empty());
+
+  // Resolve every contains expression the plan can mention (original
+  // query expressions; promoted predicates reuse the same keys).
+  std::unordered_map<std::string, const ContainsResult*> contains_results;
+  for (VarId v : plan.query().Vars()) {
+    for (const FtExpr& e : plan.query().node(v).contains) {
+      assert(ir_ != nullptr && "plan has contains but no IR engine");
+      contains_results.emplace(e.ToString(), ir_->Evaluate(e));
+    }
+  }
+
+  const bool use_optionals = mode != EvalMode::kExact;
+  const bool prune =
+      k > 0 && use_optionals && scheme != RankScheme::kKeywordFirst;
+  const double ks_bonus =
+      scheme == RankScheme::kCombined ? plan.max_keyword_score() : 0.0;
+  const int dist_step = plan.distinguished_step();
+
+  // Evaluates one predicate against a (partial) tuple extended by `cand`
+  // at step `s`. Null operands fail the predicate.
+  auto holds = [&](const Predicate& p, const std::vector<NodeRef>& bindings,
+                   NodeRef cand, const std::map<VarId, int>& step_of) {
+    auto bind_of = [&](VarId v) -> NodeRef {
+      const int s = step_of.at(v);
+      return s == static_cast<int>(bindings.size()) ? cand
+                                                    : bindings[static_cast<size_t>(s)];
+    };
+    switch (p.kind) {
+      case PredKind::kPc: {
+        NodeRef a = bind_of(p.x);
+        NodeRef d = bind_of(p.y);
+        if (IsNull(a) || IsNull(d)) return false;
+        return corpus.IsParent(a, d);
+      }
+      case PredKind::kAd: {
+        NodeRef a = bind_of(p.x);
+        NodeRef d = bind_of(p.y);
+        if (IsNull(a) || IsNull(d)) return false;
+        return corpus.IsAncestor(a, d);
+      }
+      case PredKind::kContains: {
+        NodeRef x = bind_of(p.x);
+        if (IsNull(x)) return false;
+        auto it = contains_results.find(p.expr_key);
+        if (it == contains_results.end()) return false;
+        return it->second->Satisfies(x);
+      }
+      case PredKind::kTag:
+        return true;  // implicit in the scan list
+    }
+    return false;
+  };
+
+  std::map<VarId, int> step_of;
+  for (size_t i = 0; i < steps.size(); ++i) {
+    step_of[steps[i].var] = static_cast<int>(i);
+  }
+
+  // Candidate filter shared by all steps: attribute predicates.
+  auto attrs_ok = [&](const PlanStep& step, NodeRef ref) {
+    for (const AttrPred& ap : step.attr_preds) {
+      const std::string* val =
+          corpus.doc(ref.doc).FindAttribute(ref.node, ap.attr);
+      if (val == nullptr || !ap.Matches(*val)) return false;
+    }
+    return true;
+  };
+
+  // --- Step 0: seed tuples from the first scan list. -------------------
+  std::vector<Tuple> tuples;
+  {
+    const PlanStep& step0 = steps[0];
+    for (NodeRef ref : index_->Scan(step0.tag)) {
+      ++ctr.candidates_probed;
+      if (!attrs_ok(step0, ref)) continue;
+      Tuple t;
+      t.bindings.push_back(ref);
+      bool ok = true;
+      for (const PlanPredicate& pp : step0.preds) {
+        // Step-0 predicates are contains predicates on the root variable.
+        const bool sat = holds(pp.pred, {}, ref, step_of);
+        if (sat) continue;
+        if (!pp.optional) {
+          ok = false;
+          break;
+        }
+        t.mask |= uint64_t{1} << pp.mask_bit;
+        t.penalty += pp.penalty;
+      }
+      if (!ok) continue;
+      ++ctr.tuples_created;
+      tuples.push_back(std::move(t));
+    }
+    DominancePrune(plan.LiveSteps(0), &tuples);
+  }
+
+  // Pruning-threshold helper: the k-th best guaranteed (lower-bound)
+  // score among distinct answers. Returns -inf when fewer than k distinct
+  // answers exist.
+  auto prune_bound = [&](const std::vector<Tuple>& ts, size_t s) {
+    // The bound must come from distinct *answers*; until the
+    // distinguished variable is bound we cannot count answers soundly,
+    // so pruning only starts afterwards.
+    if (ts.empty() ||
+        ts[0].bindings.size() <= static_cast<size_t>(dist_step)) {
+      return -std::numeric_limits<double>::infinity();
+    }
+    std::unordered_map<NodeRef, double, NodeRefHash> best_lower;
+    const double remaining = plan.MaxRemainingPenalty(s);
+    for (const Tuple& t : ts) {
+      const NodeRef answer = t.bindings[static_cast<size_t>(dist_step)];
+      const double lower = plan.base_score() - t.penalty - remaining;
+      auto [it, inserted] = best_lower.emplace(answer, lower);
+      if (!inserted && lower > it->second) it->second = lower;
+    }
+    if (best_lower.size() < k) {
+      return -std::numeric_limits<double>::infinity();
+    }
+    std::vector<double> lowers;
+    lowers.reserve(best_lower.size());
+    for (const auto& [node, lower] : best_lower) lowers.push_back(lower);
+    std::nth_element(lowers.begin(), lowers.begin() + static_cast<long>(k - 1),
+                     lowers.end(), std::greater<double>());
+    return lowers[k - 1];
+  };
+
+  // --- Subsequent steps. ------------------------------------------------
+  for (size_t s = 1; s < steps.size(); ++s) {
+    const PlanStep& step = steps[s];
+    const std::vector<NodeRef>& scan = index_->Scan(step.tag);
+
+    double bound = -std::numeric_limits<double>::infinity();
+    if (prune) bound = prune_bound(tuples, s - 1);
+
+    auto extend = [&](const Tuple& t, std::vector<Tuple>* out) {
+      const NodeRef anchor =
+          t.bindings[static_cast<size_t>(step.anchor_step)];
+      bool matched = false;
+      // In exact mode a variable absent from the round's query needs no
+      // binding at all — probing would be wasted work.
+      const bool skip_probe = mode == EvalMode::kExact && step.nullable;
+      if (!IsNull(anchor) && !skip_probe) {
+        const Element& anchor_el = corpus.node(anchor);
+        // Scan entries inside the anchor's interval form a contiguous
+        // range beginning right after the anchor itself.
+        auto it = std::upper_bound(scan.begin(), scan.end(), anchor);
+        for (; it != scan.end(); ++it) {
+          if (it->doc != anchor.doc) break;
+          const Element& cand_el = corpus.node(*it);
+          if (cand_el.start >= anchor_el.end) break;
+          ++ctr.candidates_probed;
+          if (step.anchor_parent_only &&
+              cand_el.level != anchor_el.level + 1) {
+            continue;
+          }
+          if (!attrs_ok(step, *it)) continue;
+          Tuple next = t;
+          bool ok = true;
+          for (const PlanPredicate& pp : step.preds) {
+            if (holds(pp.pred, t.bindings, *it, step_of)) continue;
+            if (!pp.optional) {
+              ok = false;
+              break;
+            }
+            next.mask |= uint64_t{1} << pp.mask_bit;
+            next.penalty += pp.penalty;
+          }
+          if (!ok) continue;
+          matched = true;
+          next.bindings.push_back(*it);
+          if (prune &&
+              plan.base_score() - next.penalty + ks_bonus < bound) {
+            ++ctr.tuples_pruned;
+            continue;
+          }
+          ++ctr.tuples_created;
+          out->push_back(std::move(next));
+        }
+      }
+      if (!matched && step.nullable) {
+        Tuple next = t;
+        next.bindings.push_back(kNullRef);
+        for (const PlanPredicate& pp : step.preds) {
+          // A nullable step carries only optional predicates, all of
+          // which a null binding violates.
+          next.mask |= uint64_t{1} << pp.mask_bit;
+          next.penalty += pp.penalty;
+        }
+        if (prune && plan.base_score() - next.penalty + ks_bonus < bound) {
+          ++ctr.tuples_pruned;
+          return;
+        }
+        ++ctr.tuples_created;
+        out->push_back(std::move(next));
+      }
+    };
+
+    std::vector<Tuple> out;
+    if (mode == EvalMode::kHybridBuckets) {
+      // Group by violation mask; within a bucket tuples share their score
+      // and stay in document order, so per-bucket processing needs no
+      // sorting and whole buckets can be skipped against the bound.
+      std::map<uint64_t, std::vector<const Tuple*>> buckets;
+      for (const Tuple& t : tuples) buckets[t.mask].push_back(&t);
+      ctr.buckets_peak = std::max<uint64_t>(ctr.buckets_peak, buckets.size());
+      for (const auto& [mask, members] : buckets) {
+        const double upper = plan.base_score() - plan.PenaltyOfMask(mask) +
+                             ks_bonus;
+        if (prune && upper < bound) {
+          ctr.tuples_pruned += members.size();
+          continue;
+        }
+        for (const Tuple* t : members) extend(*t, &out);
+      }
+    } else {
+      if (mode == EvalMode::kSsoFlat && prune && tuples.size() > k) {
+        // SSO's tension: to apply the threshold it sorts the flat tuple
+        // list by score, then must restore document order for the next
+        // join. Both sorts are real costs we account for.
+        std::sort(tuples.begin(), tuples.end(),
+                  [](const Tuple& a, const Tuple& b) {
+                    return a.penalty < b.penalty;
+                  });
+        ++ctr.score_sorts;
+        ctr.score_sorted_items += tuples.size();
+        std::sort(tuples.begin(), tuples.end(),
+                  [](const Tuple& a, const Tuple& b) {
+                    return a.bindings < b.bindings;
+                  });
+        ++ctr.score_sorts;
+        ctr.score_sorted_items += tuples.size();
+      }
+      for (const Tuple& t : tuples) extend(t, &out);
+    }
+    DominancePrune(plan.LiveSteps(s), &out);
+    tuples = std::move(out);
+  }
+
+  // --- Finalize: keyword scores, dedup, sort. ---------------------------
+  std::unordered_map<NodeRef, AnswerScore, NodeRefHash> best;
+  for (const Tuple& t : tuples) {
+    AnswerScore score;
+    score.ss = mode == EvalMode::kExact
+                   ? plan.base_score() - exact_penalty
+                   : plan.base_score() - t.penalty;
+    score.ks = 0.0;
+    for (const JoinPlan::ContainsChain& chain : plan.contains_chains()) {
+      auto res_it = contains_results.find(chain.expr.ToString());
+      if (res_it == contains_results.end()) continue;
+      const ContainsResult* result = res_it->second;
+      for (int cs : chain.chain_steps) {
+        const NodeRef b = t.bindings[static_cast<size_t>(cs)];
+        if (IsNull(b)) continue;
+        if (result->Satisfies(b)) {
+          score.ks += chain.weight * result->BestScoreWithin(b);
+          break;
+        }
+      }
+    }
+    const NodeRef answer = t.bindings[static_cast<size_t>(dist_step)];
+    assert(!IsNull(answer) && "distinguished variable must be bound");
+    auto [it, inserted] = best.emplace(answer, score);
+    if (!inserted && RanksBefore(score, it->second, scheme)) {
+      it->second = score;
+    }
+  }
+
+  std::vector<RankedAnswer> answers;
+  answers.reserve(best.size());
+  for (const auto& [node, score] : best) {
+    answers.push_back(RankedAnswer{node, score});
+  }
+  std::sort(answers.begin(), answers.end(),
+            [&](const RankedAnswer& a, const RankedAnswer& b) {
+              if (RanksBefore(a.score, b.score, scheme)) return true;
+              if (RanksBefore(b.score, a.score, scheme)) return false;
+              return a.node < b.node;  // deterministic tie-break
+            });
+  return answers;
+}
+
+}  // namespace flexpath

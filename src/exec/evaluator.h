@@ -1,0 +1,71 @@
+#ifndef FLEXPATH_EXEC_EVALUATOR_H_
+#define FLEXPATH_EXEC_EVALUATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/plan.h"
+#include "ir/engine.h"
+#include "rank/score.h"
+#include "stats/element_index.h"
+
+namespace flexpath {
+
+/// Work counters exposed by the evaluator so benchmarks can report what
+/// each algorithm actually did (passes over data, probes, sorting — the
+/// quantities Section 6 attributes the DPO/SSO/Hybrid differences to).
+struct ExecCounters {
+  uint64_t plan_passes = 0;        ///< Full plan evaluations.
+  uint64_t candidates_probed = 0;  ///< Scan-list entries examined.
+  uint64_t tuples_created = 0;     ///< Intermediate tuples materialized.
+  uint64_t tuples_pruned = 0;      ///< Tuples discarded by the threshold.
+  uint64_t score_sorts = 0;        ///< Score-order sorts (SSO's weakness).
+  uint64_t score_sorted_items = 0; ///< Total items passed through them.
+  uint64_t buckets_peak = 0;       ///< Max live buckets (Hybrid).
+
+  void Add(const ExecCounters& other);
+};
+
+/// How the evaluator manages intermediate results (Section 5.2):
+///  - kExact: evaluate the plan's required predicates only; no optional
+///    predicates, no pruning. One DPO round.
+///  - kSsoFlat: optional predicates encoded; intermediate tuples kept in
+///    one list that is sorted by score to find the pruning threshold
+///    after every join step — SSO, with the score/id sort tension.
+///  - kHybridBuckets: tuples grouped into buckets by violation mask; each
+///    bucket is score-homogeneous and stays in document order, so no
+///    score sorting ever happens — Hybrid (Section 5.2.3).
+enum class EvalMode : uint8_t {
+  kExact,
+  kSsoFlat,
+  kHybridBuckets,
+};
+
+/// Evaluates join plans over the tag index + IR engine.
+class PlanEvaluator {
+ public:
+  /// `index` must outlive the evaluator; `ir` may be null when no query
+  /// it sees has contains predicates.
+  PlanEvaluator(const ElementIndex* index, IrEngine* ir)
+      : index_(index), ir_(ir) {}
+
+  /// Runs `plan`, returning answers deduplicated by distinguished node
+  /// (best score kept), sorted best-first under `scheme`.
+  ///   `k`             — pruning target; 0 disables threshold pruning.
+  ///   `exact_penalty` — kExact only: the uniform structural penalty of
+  ///                     this relaxation round (DPO scores all of a
+  ///                     round's answers identically, Section 5.2.1).
+  /// `counters` may be null.
+  std::vector<RankedAnswer> Evaluate(const JoinPlan& plan, EvalMode mode,
+                                     size_t k, RankScheme scheme,
+                                     double exact_penalty,
+                                     ExecCounters* counters);
+
+ private:
+  const ElementIndex* index_;
+  IrEngine* ir_;
+};
+
+}  // namespace flexpath
+
+#endif  // FLEXPATH_EXEC_EVALUATOR_H_

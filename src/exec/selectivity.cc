@@ -1,0 +1,32 @@
+#include "exec/selectivity.h"
+
+namespace flexpath {
+
+double SelectivityEstimator::EstimateAnswers(const Tpq& q) {
+  if (q.empty()) return 0.0;
+  const TagId dist_tag = q.node(q.distinguished()).tag;
+  double estimate = static_cast<double>(stats_->TagCount(dist_tag));
+  for (VarId v : q.Vars()) {
+    const VarId parent = q.Parent(v);
+    if (parent != kInvalidVar) {
+      const TagId pt = q.node(parent).tag;
+      const TagId ct = q.node(v).tag;
+      const double frac = q.AxisOf(v) == Axis::kChild
+                              ? stats_->PcFraction(pt, ct)
+                              : stats_->AdFraction(pt, ct);
+      estimate *= frac;
+    }
+    if (ir_ != nullptr) {
+      for (const FtExpr& e : q.node(v).contains) {
+        const ContainsResult* result = ir_->Evaluate(e);
+        const TagId t = q.node(v).tag;
+        const double total = static_cast<double>(stats_->TagCount(t));
+        const double have = static_cast<double>(result->CountWithTag(t));
+        estimate *= total > 0 ? have / total : 0.0;
+      }
+    }
+  }
+  return estimate;
+}
+
+}  // namespace flexpath

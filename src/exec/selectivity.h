@@ -1,0 +1,38 @@
+#ifndef FLEXPATH_EXEC_SELECTIVITY_H_
+#define FLEXPATH_EXEC_SELECTIVITY_H_
+
+#include "ir/engine.h"
+#include "query/tpq.h"
+#include "stats/document_stats.h"
+
+namespace flexpath {
+
+/// The paper's selectivity estimator (Section 6): intensive
+/// pre-processing collects node/edge counts (DocumentStats); estimation
+/// assumes a uniform, location-independent distribution of elements — "if
+/// 60% of A's have a B child, estimate C/A/B as 0.6 times C/A". SSO uses
+/// the estimates to decide how many relaxations to encode before
+/// evaluating anything.
+class SelectivityEstimator {
+ public:
+  /// `stats` must outlive the estimator. `ir` may be null; contains
+  /// predicates are then ignored by the estimate (over-estimation, which
+  /// SSO's restart loop tolerates).
+  SelectivityEstimator(const DocumentStats* stats, IrEngine* ir)
+      : stats_(stats), ir_(ir) {}
+
+  /// Estimated number of answers (distinguished-node matches) of `q`:
+  ///   #(tag(dist)) * Π_edges frac(edge) * Π_contains frac(contains)
+  /// where frac is the existence fraction of the edge type between the
+  /// two tags (PcFraction / AdFraction) and, for contains($x, E), the
+  /// fraction of tag(x)-elements whose subtree satisfies E.
+  double EstimateAnswers(const Tpq& q);
+
+ private:
+  const DocumentStats* stats_;
+  IrEngine* ir_;
+};
+
+}  // namespace flexpath
+
+#endif  // FLEXPATH_EXEC_SELECTIVITY_H_

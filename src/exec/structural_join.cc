@@ -1,0 +1,81 @@
+#include "exec/structural_join.h"
+
+namespace flexpath {
+
+namespace {
+
+/// Global-order key for merging.
+struct Pos {
+  DocId doc;
+  uint32_t start;
+
+  friend auto operator<=>(const Pos&, const Pos&) = default;
+};
+
+Pos PosOf(const Corpus& corpus, NodeRef ref) {
+  return Pos{ref.doc, corpus.node(ref).start};
+}
+
+bool Contains(const Corpus& corpus, NodeRef anc, NodeRef desc) {
+  if (anc.doc != desc.doc) return false;
+  const Element& a = corpus.node(anc);
+  const Element& d = corpus.node(desc);
+  return a.start < d.start && d.end < a.end;
+}
+
+}  // namespace
+
+std::vector<JoinPair> StructuralJoin(const Corpus& corpus,
+                                     const std::vector<NodeRef>& ancestors,
+                                     const std::vector<NodeRef>& descendants,
+                                     bool parent_only) {
+  std::vector<JoinPair> out;
+  std::vector<NodeRef> stack;
+  size_t a = 0;
+  size_t d = 0;
+  while (d < descendants.size()) {
+    const bool take_anc =
+        a < ancestors.size() &&
+        PosOf(corpus, ancestors[a]) < PosOf(corpus, descendants[d]);
+    const NodeRef next = take_anc ? ancestors[a] : descendants[d];
+    // Entries that do not contain `next` are finished.
+    while (!stack.empty() && !Contains(corpus, stack.back(), next)) {
+      stack.pop_back();
+    }
+    if (take_anc) {
+      stack.push_back(next);
+      ++a;
+    } else {
+      if (parent_only) {
+        // Only the deepest open ancestor can be the parent.
+        if (!stack.empty() &&
+            corpus.node(stack.back()).level + 1 == corpus.node(next).level) {
+          out.push_back(JoinPair{stack.back(), next});
+        }
+      } else {
+        for (const NodeRef& anc : stack) {
+          out.push_back(JoinPair{anc, next});
+        }
+      }
+      ++d;
+    }
+  }
+  return out;
+}
+
+std::vector<JoinPair> NestedLoopJoin(const Corpus& corpus,
+                                     const std::vector<NodeRef>& ancestors,
+                                     const std::vector<NodeRef>& descendants,
+                                     bool parent_only) {
+  std::vector<JoinPair> out;
+  for (const NodeRef& d : descendants) {
+    for (const NodeRef& anc : ancestors) {
+      if (!Contains(corpus, anc, d)) continue;
+      if (parent_only && !corpus.IsParent(anc, d)) continue;
+      out.push_back(JoinPair{anc, d});
+    }
+  }
+  return out;
+}
+
+}  // namespace flexpath

@@ -1,0 +1,181 @@
+#include "exec/topk.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+
+#include "relax/schedule.h"
+
+namespace flexpath {
+
+namespace {
+
+struct NodeRefHash {
+  size_t operator()(const NodeRef& r) const {
+    return std::hash<uint64_t>()((static_cast<uint64_t>(r.doc) << 32) |
+                                 r.node);
+  }
+};
+
+void SortByScheme(std::vector<RankedAnswer>* answers, RankScheme scheme) {
+  std::sort(answers->begin(), answers->end(),
+            [&](const RankedAnswer& a, const RankedAnswer& b) {
+              if (RanksBefore(a.score, b.score, scheme)) return true;
+              if (RanksBefore(b.score, a.score, scheme)) return false;
+              return a.node < b.node;
+            });
+}
+
+}  // namespace
+
+const char* AlgorithmName(Algorithm algo) {
+  switch (algo) {
+    case Algorithm::kDpo:
+      return "DPO";
+    case Algorithm::kSso:
+      return "SSO";
+    case Algorithm::kHybrid:
+      return "Hybrid";
+  }
+  return "unknown";
+}
+
+Result<TopKResult> TopKProcessor::Run(const Tpq& q, Algorithm algo,
+                                      const TopKOptions& opts) {
+  if (opts.k == 0) return Status::InvalidArgument("k must be positive");
+  FLEXPATH_RETURN_IF_ERROR(q.Validate());
+  if (q.ContainsCount() > 0 && ir_ == nullptr) {
+    return Status::InvalidArgument(
+        "query has contains predicates but no IR engine is attached");
+  }
+  PenaltyModel pm(q, stats_, ir_, opts.weights);
+  switch (algo) {
+    case Algorithm::kDpo:
+      return RunDpo(q, opts, pm);
+    case Algorithm::kSso:
+      return RunEncoded(q, opts, pm, EvalMode::kSsoFlat);
+    case Algorithm::kHybrid:
+      return RunEncoded(q, opts, pm, EvalMode::kHybridBuckets);
+  }
+  return Status::InvalidArgument("unknown algorithm");
+}
+
+Result<TopKResult> TopKProcessor::RunDpo(const Tpq& q,
+                                         const TopKOptions& opts,
+                                         const PenaltyModel& pm) {
+  TopKResult result;
+  const std::vector<ScheduleEntry> schedule = BuildSchedule(q, pm);
+
+  // Stopping rules per scheme (Section 5.1): structure-first stops as
+  // soon as K answers exist; keyword-first must evaluate every
+  // relaxation; combined keeps going until the structural score falls
+  // below (K-th round's score − m), m = total contains weight.
+  std::unordered_set<NodeRef, NodeRefHash> seen;
+  double stop_below = -std::numeric_limits<double>::infinity();
+  const double m = [&] {
+    double total = 0.0;
+    for (VarId v : q.Vars()) {
+      for (const FtExpr& e : q.node(v).contains) {
+        total += opts.weights.Of(Predicate::Contains(v, e));
+      }
+    }
+    return total;
+  }();
+
+  for (size_t round = 0; round <= schedule.size(); ++round) {
+    const Tpq& relaxed = round == 0 ? q : schedule[round - 1].relaxed;
+    const double penalty =
+        round == 0 ? 0.0 : schedule[round - 1].cumulative_penalty;
+    if (opts.scheme == RankScheme::kCombined &&
+        BaseStructuralScore(q, opts.weights) - penalty < stop_below) {
+      break;
+    }
+    Result<JoinPlan> plan =
+        JoinPlan::Build(q, relaxed, {}, pm, opts.weights);
+    if (!plan.ok()) return plan.status();
+    std::vector<RankedAnswer> round_answers = evaluator_.Evaluate(
+        *plan, EvalMode::kExact, opts.k, opts.scheme, penalty,
+        &result.counters);
+    // DPO appends: later rounds never outrank earlier ones
+    // (structure-first), so no resorting — answers seen before keep
+    // their earlier (higher) score.
+    for (RankedAnswer& a : round_answers) {
+      if (seen.insert(a.node).second) {
+        result.answers.push_back(std::move(a));
+      }
+    }
+    result.relaxations_used = round;
+    const bool have_k = result.answers.size() >= opts.k;
+    if (opts.scheme == RankScheme::kStructureFirst && have_k) break;
+    if (opts.scheme == RankScheme::kCombined && have_k &&
+        stop_below == -std::numeric_limits<double>::infinity()) {
+      stop_below = BaseStructuralScore(q, opts.weights) - penalty - m;
+    }
+    // keyword-first: run every round.
+  }
+
+  SortByScheme(&result.answers, opts.scheme);
+  if (result.answers.size() > opts.k) result.answers.resize(opts.k);
+  return result;
+}
+
+Result<TopKResult> TopKProcessor::RunEncoded(const Tpq& q,
+                                             const TopKOptions& opts,
+                                             const PenaltyModel& pm,
+                                             EvalMode mode) {
+  TopKResult result;
+  const std::vector<ScheduleEntry> schedule = BuildSchedule(q, pm);
+  SelectivityEstimator estimator(stats_, ir_);
+
+  // Statically pick how many relaxations to encode (SSO lines 3-7): keep
+  // adding the next-cheapest relaxation while the estimate is short of K.
+  size_t encoded = 0;
+  if (opts.scheme == RankScheme::kKeywordFirst) {
+    // Keyword-first: any structural score can reach the top-K, so every
+    // relaxation must be encoded (Section 5.1).
+    encoded = schedule.size();
+  } else {
+    // Chain queries are nested (Q ⊂ Q_1 ⊂ ...), so the most relaxed
+    // encoded query's estimate *is* the estimated answer count — no
+    // summing across relaxations.
+    double estimate = estimator.EstimateAnswers(q);
+    while (estimate < static_cast<double>(opts.k) &&
+           encoded < schedule.size()) {
+      ++encoded;
+      estimate = std::max(
+          estimate, estimator.EstimateAnswers(schedule[encoded - 1].relaxed));
+    }
+  }
+
+  bool prune = true;
+  for (;;) {
+    const Tpq& relaxed = encoded == 0 ? q : schedule[encoded - 1].relaxed;
+    const std::set<Predicate> dropped =
+        encoded == 0 ? std::set<Predicate>{} : schedule[encoded - 1].dropped;
+    Result<JoinPlan> plan =
+        JoinPlan::Build(q, relaxed, dropped, pm, opts.weights);
+    if (!plan.ok()) return plan.status();
+    const uint64_t pruned_before = result.counters.tuples_pruned;
+    result.answers = evaluator_.Evaluate(*plan, mode, prune ? opts.k : 0,
+                                         opts.scheme, 0.0, &result.counters);
+    result.relaxations_used = encoded;
+    if (result.answers.size() >= opts.k) break;
+    // Fewer than K answers (SSO line 11). Two possible causes: the
+    // threshold pruned tuples whose higher-bound competitors later died
+    // (the threshold is optimistic, as in the paper) — retry the same
+    // plan unpruned; or the selectivity estimate was short — encode one
+    // more relaxation and restart.
+    if (prune && result.counters.tuples_pruned > pruned_before) {
+      prune = false;
+      continue;
+    }
+    if (encoded >= schedule.size()) break;
+    ++encoded;
+    prune = true;
+  }
+
+  if (result.answers.size() > opts.k) result.answers.resize(opts.k);
+  return result;
+}
+
+}  // namespace flexpath

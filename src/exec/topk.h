@@ -1,0 +1,76 @@
+#ifndef FLEXPATH_EXEC_TOPK_H_
+#define FLEXPATH_EXEC_TOPK_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "exec/evaluator.h"
+#include "exec/selectivity.h"
+#include "ir/engine.h"
+#include "query/tpq.h"
+#include "rank/score.h"
+#include "relax/penalty.h"
+#include "stats/document_stats.h"
+#include "stats/element_index.h"
+
+namespace flexpath {
+
+/// The three top-K evaluation algorithms of Section 5.
+enum class Algorithm : uint8_t {
+  kDpo,     ///< Dynamic Penalty Order: evaluate, then relax one step at a
+            ///  time while fewer than K answers (multiple plan passes).
+  kSso,     ///< Static Selectivity Order: pick the relaxations to encode
+            ///  up front from selectivity estimates; one plan, flat
+            ///  intermediate lists, score sorts for pruning.
+  kHybrid,  ///< SSO's plan with bucketized intermediates: score-
+            ///  homogeneous buckets, no score sorting (Section 5.2.3).
+};
+
+const char* AlgorithmName(Algorithm algo);
+
+struct TopKOptions {
+  size_t k = 10;
+  RankScheme scheme = RankScheme::kStructureFirst;
+  Weights weights;
+};
+
+struct TopKResult {
+  std::vector<RankedAnswer> answers;  ///< At most k, best first.
+  ExecCounters counters;
+  size_t relaxations_used = 0;  ///< Schedule steps evaluated/encoded.
+};
+
+/// Runs top-K queries against one indexed corpus. The FleXPath
+/// architecture of Figure 7: relaxation generation + XPath-engine
+/// evaluation + IR-engine contains evaluation + combination.
+class TopKProcessor {
+ public:
+  /// All dependencies must outlive the processor. `ir` may be null when
+  /// queries carry no contains predicates.
+  TopKProcessor(const ElementIndex* index, const DocumentStats* stats,
+                IrEngine* ir)
+      : index_(index), stats_(stats), ir_(ir), evaluator_(index, ir) {}
+
+  /// Evaluates the top-K answers of `q` and all its relaxations
+  /// (Definition 4) with the chosen algorithm. All three algorithms
+  /// return the same answer set for the same query and K, up to ties;
+  /// DPO assigns each relaxation round's answers a uniform structural
+  /// score while SSO/Hybrid score per answer (Section 5.2.1).
+  Result<TopKResult> Run(const Tpq& q, Algorithm algo,
+                         const TopKOptions& opts);
+
+ private:
+  Result<TopKResult> RunDpo(const Tpq& q, const TopKOptions& opts,
+                            const PenaltyModel& pm);
+  Result<TopKResult> RunEncoded(const Tpq& q, const TopKOptions& opts,
+                                const PenaltyModel& pm, EvalMode mode);
+
+  const ElementIndex* index_;
+  const DocumentStats* stats_;
+  IrEngine* ir_;
+  PlanEvaluator evaluator_;
+};
+
+}  // namespace flexpath
+
+#endif  // FLEXPATH_EXEC_TOPK_H_

@@ -1,0 +1,280 @@
+#include "ir/engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace flexpath {
+
+namespace {
+
+/// Index of the first most-specific entry with node >= `ref` (by global
+/// document order).
+size_t LowerBoundScored(const std::vector<ScoredNode>& v, NodeRef ref) {
+  auto it = std::lower_bound(
+      v.begin(), v.end(), ref,
+      [](const ScoredNode& s, const NodeRef& r) { return s.node < r; });
+  return static_cast<size_t>(it - v.begin());
+}
+
+}  // namespace
+
+ContainsResult::ContainsResult(const Corpus* corpus,
+                               std::vector<NodeRef> satisfying,
+                               std::vector<ScoredNode> most_specific)
+    : corpus_(corpus),
+      satisfying_(std::move(satisfying)),
+      most_specific_(std::move(most_specific)) {
+  // Build the sparse table for range-max over most-specific scores.
+  const size_t n = most_specific_.size();
+  if (n == 0) return;
+  rmq_.emplace_back(n);
+  for (size_t i = 0; i < n; ++i) rmq_[0][i] = most_specific_[i].score;
+  for (size_t len = 2; len <= n; len *= 2) {
+    const std::vector<double>& prev = rmq_.back();
+    std::vector<double> cur(n - len + 1);
+    for (size_t i = 0; i + len <= n; ++i) {
+      cur[i] = std::max(prev[i], prev[i + len / 2]);
+    }
+    rmq_.push_back(std::move(cur));
+  }
+}
+
+bool ContainsResult::Satisfies(NodeRef context) const {
+  return std::binary_search(satisfying_.begin(), satisfying_.end(), context);
+}
+
+double ContainsResult::BestScoreWithin(NodeRef context) const {
+  if (most_specific_.empty()) return 0.0;
+  const Element& ctx = corpus_->node(context);
+  size_t lo = LowerBoundScored(most_specific_, context);
+  // Entries in the subtree: same doc, start < ctx.end. Since entries are
+  // in document order and starts are monotone within a doc, the run is
+  // contiguous; find its end by binary search.
+  auto it = std::partition_point(
+      most_specific_.begin() + static_cast<ptrdiff_t>(lo),
+      most_specific_.end(), [&](const ScoredNode& s) {
+        return s.node.doc == context.doc &&
+               corpus_->node(s.node).start < ctx.end;
+      });
+  size_t hi = static_cast<size_t>(it - most_specific_.begin());
+  if (lo >= hi) return 0.0;
+  // Range max via the sparse table.
+  size_t len = hi - lo;
+  size_t level = 0;
+  while ((size_t{2} << level) <= len) ++level;
+  size_t window = size_t{1} << level;
+  return std::max(rmq_[level][lo], rmq_[level][hi - window]);
+}
+
+size_t ContainsResult::CountWithTag(TagId tag) const {
+  auto it = tag_counts_.find(tag);
+  if (it != tag_counts_.end()) return it->second;
+  size_t count = 0;
+  for (NodeRef ref : satisfying_) {
+    if (corpus_->node(ref).tag == tag) ++count;
+  }
+  tag_counts_.emplace(tag, count);
+  return count;
+}
+
+IrEngine::IrEngine(const Corpus* corpus, TokenizerOptions opts)
+    : corpus_(corpus), index_(corpus, opts) {}
+
+const ContainsResult* IrEngine::Evaluate(const FtExpr& expr) {
+  const std::string key = expr.ToString();
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second.get();
+
+  std::vector<NodeRef> satisfying = SatisfyingSet(expr);
+
+  // Most-specific = entries whose immediate successor (the first
+  // descendant in pre-order, if any) is not inside their interval.
+  std::vector<ScoredNode> specific;
+  for (size_t i = 0; i < satisfying.size(); ++i) {
+    const NodeRef ref = satisfying[i];
+    if (i + 1 < satisfying.size()) {
+      const NodeRef next = satisfying[i + 1];
+      if (next.doc == ref.doc &&
+          corpus_->node(next).start < corpus_->node(ref).end) {
+        continue;  // has a satisfying descendant
+      }
+    }
+    specific.push_back(ScoredNode{ref, 0.0});
+  }
+
+  // Score most-specific elements: sum over the expression's positive
+  // terms of subtree tf * idf, then normalize the batch to [0, 1].
+  const std::vector<std::string> terms = expr.PositiveTerms();
+  double max_score = 0.0;
+  for (ScoredNode& s : specific) {
+    double score = 0.0;
+    for (const std::string& t : terms) {
+      const uint64_t tf = index_.SubtreeTermFrequency(t, s.node);
+      if (tf > 0) {
+        score += (1.0 + std::log(static_cast<double>(tf))) * index_.Idf(t);
+      }
+    }
+    s.score = score;
+    max_score = std::max(max_score, score);
+  }
+  if (max_score > 0.0) {
+    for (ScoredNode& s : specific) s.score /= max_score;
+  } else {
+    // Pure-negation expressions carry no positive evidence; give matches
+    // a uniform nominal score.
+    for (ScoredNode& s : specific) s.score = 1.0;
+  }
+
+  auto result = std::make_unique<ContainsResult>(
+      corpus_, std::move(satisfying), std::move(specific));
+  const ContainsResult* out = result.get();
+  cache_.emplace(key, std::move(result));
+  return out;
+}
+
+std::vector<NodeRef> IrEngine::SatisfyingSet(const FtExpr& expr) const {
+  switch (expr.kind()) {
+    case FtKind::kTerm:
+    case FtKind::kPhrase:
+    case FtKind::kNear:
+      return AncestorClosure(DirectMatches(expr));
+    case FtKind::kAnd: {
+      std::vector<NodeRef> a = SatisfyingSet(expr.children()[0]);
+      std::vector<NodeRef> b = SatisfyingSet(expr.children()[1]);
+      std::vector<NodeRef> out;
+      std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                            std::back_inserter(out));
+      return out;
+    }
+    case FtKind::kOr: {
+      std::vector<NodeRef> a = SatisfyingSet(expr.children()[0]);
+      std::vector<NodeRef> b = SatisfyingSet(expr.children()[1]);
+      std::vector<NodeRef> out;
+      std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                     std::back_inserter(out));
+      return out;
+    }
+    case FtKind::kNot: {
+      std::vector<NodeRef> child = SatisfyingSet(expr.children()[0]);
+      std::vector<NodeRef> all = Universe();
+      std::vector<NodeRef> out;
+      std::set_difference(all.begin(), all.end(), child.begin(), child.end(),
+                          std::back_inserter(out));
+      return out;
+    }
+  }
+  return {};
+}
+
+std::vector<NodeRef> IrEngine::DirectMatches(const FtExpr& expr) const {
+  std::vector<NodeRef> out;
+  if (expr.kind() == FtKind::kTerm) {
+    if (expr.term().empty()) return out;  // normalized-away stopword
+    const PostingList* list = index_.Find(expr.term());
+    if (list == nullptr) return out;
+    out.reserve(list->postings.size());
+    for (const Posting& p : list->postings) out.push_back(p.node);
+    return out;
+  }
+  // Phrase / proximity: intersect posting lists, then verify positions
+  // within each candidate element.
+  const std::vector<std::string>& words = expr.phrase();
+  if (words.empty()) return out;
+  std::vector<const PostingList*> lists;
+  for (const std::string& w : words) {
+    const PostingList* list = index_.Find(w);
+    if (list == nullptr) return out;
+    lists.push_back(list);
+  }
+  // Walk the first list; probe the others.
+  for (const Posting& first : lists[0]->postings) {
+    std::vector<const Posting*> entry(words.size());
+    entry[0] = &first;
+    bool all = true;
+    for (size_t i = 1; i < lists.size(); ++i) {
+      const auto& ps = lists[i]->postings;
+      auto it = std::lower_bound(
+          ps.begin(), ps.end(), first.node,
+          [](const Posting& p, const NodeRef& r) { return p.node < r; });
+      if (it == ps.end() || !(it->node == first.node)) {
+        all = false;
+        break;
+      }
+      entry[i] = &*it;
+    }
+    if (!all) continue;
+    const bool hit = expr.kind() == FtKind::kPhrase
+                         ? PhraseAt(entry)
+                         : NearAt(entry, expr.window());
+    if (hit) out.push_back(first.node);
+  }
+  return out;
+}
+
+bool IrEngine::PhraseAt(const std::vector<const Posting*>& entry) {
+  // Check for positions p, p+1, ..., p+k-1.
+  for (uint32_t pos : entry[0]->positions) {
+    bool run = true;
+    for (size_t i = 1; i < entry.size(); ++i) {
+      const auto& v = entry[i]->positions;
+      if (!std::binary_search(v.begin(), v.end(),
+                              pos + static_cast<uint32_t>(i))) {
+        run = false;
+        break;
+      }
+    }
+    if (run) return true;
+  }
+  return false;
+}
+
+bool IrEngine::NearAt(const std::vector<const Posting*>& entry,
+                      uint32_t window) {
+  // Merge all occurrences, then slide a token window and check that some
+  // window covers every word at least once.
+  std::vector<std::pair<uint32_t, size_t>> occ;  // (position, word index)
+  for (size_t i = 0; i < entry.size(); ++i) {
+    for (uint32_t pos : entry[i]->positions) occ.emplace_back(pos, i);
+  }
+  std::sort(occ.begin(), occ.end());
+  std::vector<size_t> in_window(entry.size(), 0);
+  size_t covered = 0;
+  size_t left = 0;
+  for (size_t right = 0; right < occ.size(); ++right) {
+    if (in_window[occ[right].second]++ == 0) ++covered;
+    while (occ[right].first - occ[left].first > window) {
+      if (--in_window[occ[left].second] == 0) --covered;
+      ++left;
+    }
+    if (covered == entry.size()) return true;
+  }
+  return false;
+}
+
+std::vector<NodeRef> IrEngine::AncestorClosure(
+    std::vector<NodeRef> direct) const {
+  std::vector<NodeRef> out;
+  for (NodeRef ref : direct) {
+    out.push_back(ref);
+    const Document& doc = corpus_->doc(ref.doc);
+    for (NodeId p = doc.node(ref.node).parent; p != kInvalidNode;
+         p = doc.node(p).parent) {
+      out.push_back(NodeRef{ref.doc, p});
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<NodeRef> IrEngine::Universe() const {
+  std::vector<NodeRef> out;
+  out.reserve(corpus_->TotalNodes());
+  for (DocId d = 0; d < corpus_->size(); ++d) {
+    const size_t n = corpus_->doc(d).size();
+    for (NodeId i = 0; i < n; ++i) out.push_back(NodeRef{d, i});
+  }
+  return out;
+}
+
+}  // namespace flexpath

@@ -1,0 +1,108 @@
+#ifndef FLEXPATH_IR_ENGINE_H_
+#define FLEXPATH_IR_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/ft_expr.h"
+#include "ir/inverted_index.h"
+#include "xml/corpus.h"
+#include "xml/tag_dict.h"
+
+namespace flexpath {
+
+/// A node with its normalized IR relevance score in [0, 1].
+struct ScoredNode {
+  NodeRef node;
+  double score = 0.0;
+};
+
+/// The materialized answer to one FTExp evaluation:
+///  - `satisfying`: every element whose *subtree* text satisfies the
+///    expression (the semantics of contains($i, FTExp): true if at least
+///    one node under $i matches), sorted in global document order;
+///  - `most_specific`: the deepest satisfying elements (no descendant also
+///    satisfies), with tf-idf scores normalized to [0, 1] — this is what
+///    the paper's IR engine returns, following XRANK [20] / [29].
+/// Most-specific elements have pairwise disjoint intervals, so the ones
+/// inside any context interval form a contiguous run; a sparse table gives
+/// O(1) range-max for keyword scoring of arbitrary contexts.
+class ContainsResult {
+ public:
+  ContainsResult(const Corpus* corpus, std::vector<NodeRef> satisfying,
+                 std::vector<ScoredNode> most_specific);
+
+  const std::vector<NodeRef>& satisfying() const { return satisfying_; }
+  const std::vector<ScoredNode>& most_specific() const {
+    return most_specific_;
+  }
+
+  /// True iff the subtree of `context` satisfies the expression.
+  bool Satisfies(NodeRef context) const;
+
+  /// Highest IR score among most-specific matches within the subtree of
+  /// `context` (inclusive). Returns 0 when nothing matches there.
+  double BestScoreWithin(NodeRef context) const;
+
+  /// Number of satisfying elements whose tag is `tag` — the paper's
+  /// #contains(t, FTExp) statistic used in penalties. Cached per tag.
+  size_t CountWithTag(TagId tag) const;
+
+ private:
+  const Corpus* corpus_;
+  std::vector<NodeRef> satisfying_;
+  std::vector<ScoredNode> most_specific_;
+  /// Sparse table over most_specific_ scores: level l holds the max over
+  /// windows of length 2^l.
+  std::vector<std::vector<double>> rmq_;
+  mutable std::unordered_map<TagId, size_t> tag_counts_;
+};
+
+/// The full-text search engine of the FleXPath architecture (Figure 7):
+/// evaluates contains predicates and returns ranked (node, score) lists.
+/// Results are cached by canonical expression text; the cache owns them
+/// and pointers stay valid for the engine's lifetime.
+class IrEngine {
+ public:
+  /// `corpus` must outlive the engine and not change after construction.
+  explicit IrEngine(const Corpus* corpus, TokenizerOptions opts = {});
+
+  IrEngine(const IrEngine&) = delete;
+  IrEngine& operator=(const IrEngine&) = delete;
+
+  /// Evaluates `expr`, returning a cached result.
+  const ContainsResult* Evaluate(const FtExpr& expr);
+
+  const InvertedIndex& index() const { return index_; }
+
+ private:
+  /// Computes the sorted satisfying set for `expr` (subtree semantics).
+  std::vector<NodeRef> SatisfyingSet(const FtExpr& expr) const;
+
+  /// Elements directly matching a term/phrase/near (before closure).
+  std::vector<NodeRef> DirectMatches(const FtExpr& expr) const;
+
+  /// True if the postings (one per phrase word, same element) contain a
+  /// consecutive run.
+  static bool PhraseAt(const std::vector<const Posting*>& entry);
+
+  /// True if some `window`-token span covers every word at least once.
+  static bool NearAt(const std::vector<const Posting*>& entry,
+                     uint32_t window);
+
+  /// Closes `direct` under ancestors, returning a sorted deduped set.
+  std::vector<NodeRef> AncestorClosure(std::vector<NodeRef> direct) const;
+
+  /// All element NodeRefs of the corpus in order (universe for NOT).
+  std::vector<NodeRef> Universe() const;
+
+  const Corpus* corpus_;
+  InvertedIndex index_;
+  std::unordered_map<std::string, std::unique_ptr<ContainsResult>> cache_;
+};
+
+}  // namespace flexpath
+
+#endif  // FLEXPATH_IR_ENGINE_H_

@@ -1,0 +1,79 @@
+#include "ir/inverted_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace flexpath {
+
+InvertedIndex::InvertedIndex(const Corpus* corpus, TokenizerOptions opts)
+    : corpus_(corpus), opts_(opts) {
+  total_elements_ = corpus_->TotalNodes();
+  for (DocId d = 0; d < corpus_->size(); ++d) {
+    const Document& doc = corpus_->doc(d);
+    for (NodeId n = 0; n < doc.size(); ++n) {
+      const Element& e = doc.node(n);
+      if (e.text.empty()) continue;
+      for (const PositionedToken& token :
+           TokenizeWithPositions(e.text, opts_)) {
+        PostingList& list = index_[token.text];
+        if (!list.postings.empty() &&
+            list.postings.back().node == NodeRef{d, n}) {
+          Posting& p = list.postings.back();
+          ++p.tf;
+          p.positions.push_back(token.position);
+        } else {
+          Posting p;
+          p.node = NodeRef{d, n};
+          p.tf = 1;
+          p.positions.push_back(token.position);
+          list.postings.push_back(std::move(p));
+        }
+      }
+    }
+  }
+  // Documents are scanned in (doc, node) order, so each posting list is
+  // already sorted by NodeRef. Build the tf prefix sums.
+  for (auto& [term, list] : index_) {
+    list.tf_prefix.resize(list.postings.size() + 1, 0);
+    for (size_t i = 0; i < list.postings.size(); ++i) {
+      list.tf_prefix[i + 1] = list.tf_prefix[i] + list.postings[i].tf;
+    }
+  }
+}
+
+const PostingList* InvertedIndex::Find(const std::string& term) const {
+  auto it = index_.find(term);
+  return it == index_.end() ? nullptr : &it->second;
+}
+
+double InvertedIndex::Idf(const std::string& term) const {
+  const PostingList* list = Find(term);
+  const double df = list == nullptr ? 0.0
+                                    : static_cast<double>(list->postings.size());
+  return std::log(1.0 + static_cast<double>(total_elements_) / (1.0 + df));
+}
+
+uint64_t InvertedIndex::SubtreeTermFrequency(const std::string& term,
+                                             NodeRef context) const {
+  const PostingList* list = Find(term);
+  if (list == nullptr) return 0;
+  const Element& ctx = corpus_->node(context);
+  // Subtree postings form a contiguous run: same doc, start in
+  // [ctx.start, ctx.end). Binary-search the run boundaries.
+  auto lower = std::lower_bound(
+      list->postings.begin(), list->postings.end(), context,
+      [](const Posting& p, const NodeRef& c) { return p.node < c; });
+  // Postings inside the subtree are exactly those in the same doc with
+  // start < ctx.end (start is monotone in NodeId), so the end of the run
+  // can be binary-searched as well.
+  auto upper = std::partition_point(
+      lower, list->postings.end(), [&](const Posting& p) {
+        return p.node.doc == context.doc &&
+               corpus_->node(p.node).start < ctx.end;
+      });
+  size_t lo = static_cast<size_t>(lower - list->postings.begin());
+  size_t hi = static_cast<size_t>(upper - list->postings.begin());
+  return list->tf_prefix[hi] - list->tf_prefix[lo];
+}
+
+}  // namespace flexpath

@@ -1,0 +1,70 @@
+#ifndef FLEXPATH_IR_INVERTED_INDEX_H_
+#define FLEXPATH_IR_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/tokenizer.h"
+#include "xml/corpus.h"
+
+namespace flexpath {
+
+/// One posting: a direct occurrence of a term in the immediate text of an
+/// element, with term frequency and token positions (for phrases).
+struct Posting {
+  NodeRef node;
+  uint32_t tf = 0;
+  std::vector<uint32_t> positions;  ///< Token offsets within the element.
+};
+
+/// A term's posting list, sorted by NodeRef (global document order), plus
+/// a prefix-sum over tf for O(log n) subtree frequency queries.
+struct PostingList {
+  std::vector<Posting> postings;
+  std::vector<uint64_t> tf_prefix;  ///< tf_prefix[i] = sum of tf[0..i).
+};
+
+/// Element-granularity inverted index over a corpus. Terms are attributed
+/// to the element whose immediate text contains them; subtree-level
+/// statistics are derived at query time from the interval encoding.
+class InvertedIndex {
+ public:
+  /// Builds the index. `corpus` must outlive the index and not change.
+  InvertedIndex(const Corpus* corpus, TokenizerOptions opts);
+
+  InvertedIndex(const InvertedIndex&) = delete;
+  InvertedIndex& operator=(const InvertedIndex&) = delete;
+
+  /// Returns the posting list for a normalized term, or nullptr.
+  const PostingList* Find(const std::string& term) const;
+
+  /// Inverse document frequency of `term` at element granularity:
+  /// log(1 + N / (1 + df)). Zero-df terms still get a finite value.
+  double Idf(const std::string& term) const;
+
+  /// Total elements indexed (the N of the idf formula).
+  uint64_t total_elements() const { return total_elements_; }
+
+  /// Number of distinct terms.
+  size_t vocabulary_size() const { return index_.size(); }
+
+  const Corpus& corpus() const { return *corpus_; }
+  const TokenizerOptions& tokenizer_options() const { return opts_; }
+
+  /// Sum of tf of `term` over all elements in the subtree of `context`
+  /// (inclusive). O(log |postings|) via prefix sums.
+  uint64_t SubtreeTermFrequency(const std::string& term,
+                                NodeRef context) const;
+
+ private:
+  const Corpus* corpus_;
+  TokenizerOptions opts_;
+  std::unordered_map<std::string, PostingList> index_;
+  uint64_t total_elements_ = 0;
+};
+
+}  // namespace flexpath
+
+#endif  // FLEXPATH_IR_INVERTED_INDEX_H_

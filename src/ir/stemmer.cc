@@ -1,0 +1,226 @@
+#include "ir/stemmer.h"
+
+namespace flexpath {
+
+namespace {
+
+/// Working buffer for one stemming run. Implements the five steps of
+/// Porter (1980) over a mutable string `b` with logical end `k` (index of
+/// the last character, inclusive), mirroring the reference C
+/// implementation (signed indices, since `j` can legitimately become -1).
+class Porter {
+ public:
+  explicit Porter(std::string_view word)
+      : b_(word), k_(static_cast<int>(word.size()) - 1) {}
+
+  std::string Run() {
+    if (k_ <= 1) return b_;
+    Step1ab();
+    Step1c();
+    Step2();
+    Step3();
+    Step4();
+    Step5();
+    return b_.substr(0, static_cast<size_t>(k_ + 1));
+  }
+
+ private:
+  char At(int i) const { return b_[static_cast<size_t>(i)]; }
+
+  bool IsConsonant(int i) const {
+    switch (At(i)) {
+      case 'a':
+      case 'e':
+      case 'i':
+      case 'o':
+      case 'u':
+        return false;
+      case 'y':
+        return i == 0 ? true : !IsConsonant(i - 1);
+      default:
+        return true;
+    }
+  }
+
+  /// m(): number of consonant-vowel sequences in b[0..j_].
+  int Measure() const {
+    int n = 0;
+    int i = 0;
+    for (;;) {
+      if (i > j_) return n;
+      if (!IsConsonant(i)) break;
+      ++i;
+    }
+    ++i;
+    for (;;) {
+      for (;;) {
+        if (i > j_) return n;
+        if (IsConsonant(i)) break;
+        ++i;
+      }
+      ++i;
+      ++n;
+      for (;;) {
+        if (i > j_) return n;
+        if (!IsConsonant(i)) break;
+        ++i;
+      }
+      ++i;
+    }
+  }
+
+  bool VowelInStem() const {
+    for (int i = 0; i <= j_; ++i) {
+      if (!IsConsonant(i)) return true;
+    }
+    return false;
+  }
+
+  bool DoubleConsonant(int i) const {
+    if (i < 1) return false;
+    if (At(i) != At(i - 1)) return false;
+    return IsConsonant(i);
+  }
+
+  /// cvc(i) — consonant-vowel-consonant ending where the final consonant
+  /// is not w, x or y. Used to restore a trailing 'e' ("hop" -> "hope").
+  bool Cvc(int i) const {
+    if (i < 2 || !IsConsonant(i) || IsConsonant(i - 1) ||
+        !IsConsonant(i - 2)) {
+      return false;
+    }
+    char ch = At(i);
+    return ch != 'w' && ch != 'x' && ch != 'y';
+  }
+
+  bool Ends(std::string_view s) {
+    int len = static_cast<int>(s.size());
+    if (len > k_ + 1) return false;
+    if (b_.compare(static_cast<size_t>(k_ + 1 - len), s.size(), s) != 0) {
+      return false;
+    }
+    j_ = k_ - len;
+    return true;
+  }
+
+  void SetTo(std::string_view s) {
+    b_.replace(static_cast<size_t>(j_ + 1), static_cast<size_t>(k_ - j_), s);
+    k_ = j_ + static_cast<int>(s.size());
+  }
+
+  void ReplaceIfM(std::string_view s) {
+    if (Measure() > 0) SetTo(s);
+  }
+
+  void Step1ab() {
+    if (At(k_) == 's') {
+      if (Ends("sses")) {
+        k_ -= 2;
+      } else if (Ends("ies")) {
+        SetTo("i");
+      } else if (At(k_ - 1) != 's') {
+        --k_;
+      }
+    }
+    if (Ends("eed")) {
+      if (Measure() > 0) --k_;
+    } else if ((Ends("ed") || Ends("ing")) && VowelInStem()) {
+      k_ = j_;
+      if (Ends("at")) {
+        SetTo("ate");
+      } else if (Ends("bl")) {
+        SetTo("ble");
+      } else if (Ends("iz")) {
+        SetTo("ize");
+      } else if (DoubleConsonant(k_)) {
+        char ch = At(k_);
+        if (ch != 'l' && ch != 's' && ch != 'z') --k_;
+      } else if (Measure() == 1 && Cvc(k_)) {
+        j_ = k_;
+        SetTo("e");
+      }
+    }
+  }
+
+  void Step1c() {
+    if (Ends("y") && VowelInStem()) b_[static_cast<size_t>(k_)] = 'i';
+  }
+
+  void Step2() {
+    struct Rule {
+      std::string_view suffix, repl;
+    };
+    static constexpr Rule kRules[] = {
+        {"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"},
+        {"anci", "ance"},   {"izer", "ize"},    {"bli", "ble"},
+        {"alli", "al"},     {"entli", "ent"},   {"eli", "e"},
+        {"ousli", "ous"},   {"ization", "ize"}, {"ation", "ate"},
+        {"ator", "ate"},    {"alism", "al"},    {"iveness", "ive"},
+        {"fulness", "ful"}, {"ousness", "ous"}, {"aliti", "al"},
+        {"iviti", "ive"},   {"biliti", "ble"},  {"logi", "log"},
+    };
+    for (const Rule& r : kRules) {
+      if (Ends(r.suffix)) {
+        ReplaceIfM(r.repl);
+        return;
+      }
+    }
+  }
+
+  void Step3() {
+    struct Rule {
+      std::string_view suffix, repl;
+    };
+    static constexpr Rule kRules[] = {
+        {"icate", "ic"}, {"ative", ""}, {"alize", "al"}, {"iciti", "ic"},
+        {"ical", "ic"},  {"ful", ""},   {"ness", ""},
+    };
+    for (const Rule& r : kRules) {
+      if (Ends(r.suffix)) {
+        ReplaceIfM(r.repl);
+        return;
+      }
+    }
+  }
+
+  void Step4() {
+    static constexpr std::string_view kSuffixes[] = {
+        "al",    "ance", "ence", "er",  "ic",  "able", "ible", "ant",
+        "ement", "ment", "ent",  "ion", "ou",  "ism",  "ate",  "iti",
+        "ous",   "ive",  "ize",
+    };
+    for (std::string_view s : kSuffixes) {
+      if (Ends(s)) {
+        // "ion" is only removed after 's' or 't' ("adoption" -> "adopt",
+        // but "onion" keeps its ending).
+        if (s == "ion" && !(j_ >= 0 && (At(j_) == 's' || At(j_) == 't'))) {
+          continue;
+        }
+        if (Measure() > 1) k_ = j_;
+        return;
+      }
+    }
+  }
+
+  void Step5() {
+    j_ = k_;
+    if (At(k_) == 'e') {
+      int m = Measure();
+      if (m > 1 || (m == 1 && !Cvc(k_ - 1))) --k_;
+    }
+    if (At(k_) == 'l' && DoubleConsonant(k_) && Measure() > 1) --k_;
+  }
+
+  std::string b_;
+  int k_;       ///< Index of last character (inclusive).
+  int j_ = 0;   ///< Stem end set by Ends(); may be -1.
+};
+
+}  // namespace
+
+std::string PorterStem(std::string_view word) {
+  if (word.size() <= 2) return std::string(word);
+  return Porter(word).Run();
+}
+
+}  // namespace flexpath

@@ -1,0 +1,17 @@
+#ifndef FLEXPATH_IR_STEMMER_H_
+#define FLEXPATH_IR_STEMMER_H_
+
+#include <string>
+#include <string_view>
+
+namespace flexpath {
+
+/// Porter's stemming algorithm (Porter, 1980), the classic IR stemmer.
+/// Input must be lowercase ASCII letters; returns the stem ("streaming"
+/// -> "stream", "relational" -> "relat"). Words of length <= 2 are
+/// returned unchanged, per the original algorithm.
+std::string PorterStem(std::string_view word);
+
+}  // namespace flexpath
+
+#endif  // FLEXPATH_IR_STEMMER_H_

@@ -1,0 +1,55 @@
+#include "ir/thesaurus.h"
+
+namespace flexpath {
+
+void Thesaurus::AddSynonym(std::string_view term, std::string_view synonym,
+                           const TokenizerOptions& opts) {
+  const std::string key = NormalizeTerm(term, opts);
+  const std::string value = NormalizeTerm(synonym, opts);
+  if (key.empty() || value.empty() || key == value) return;
+  std::vector<std::string>& list = synonyms_[key];
+  for (const std::string& existing : list) {
+    if (existing == value) return;
+  }
+  list.push_back(value);
+}
+
+const std::vector<std::string>& Thesaurus::SynonymsOf(
+    const std::string& term) const {
+  auto it = synonyms_.find(term);
+  return it == synonyms_.end() ? empty_ : it->second;
+}
+
+FtExpr ExpandWithThesaurus(const FtExpr& expr, const Thesaurus& thesaurus) {
+  switch (expr.kind()) {
+    case FtKind::kTerm: {
+      // Terms are already normalized; bypass re-normalization by feeding
+      // the stored form through a no-op pipeline.
+      TokenizerOptions raw;
+      raw.stem = false;
+      raw.drop_stopwords = false;
+      FtExpr out = FtExpr::Term(expr.term(), raw);
+      for (const std::string& syn : thesaurus.SynonymsOf(expr.term())) {
+        out = FtExpr::Or(std::move(out), FtExpr::Term(syn, raw));
+      }
+      return out;
+    }
+    case FtKind::kAnd: {
+      return FtExpr::And(
+          ExpandWithThesaurus(expr.children()[0], thesaurus),
+          ExpandWithThesaurus(expr.children()[1], thesaurus));
+    }
+    case FtKind::kOr: {
+      return FtExpr::Or(ExpandWithThesaurus(expr.children()[0], thesaurus),
+                        ExpandWithThesaurus(expr.children()[1], thesaurus));
+    }
+    case FtKind::kNot:
+    case FtKind::kPhrase:
+    case FtKind::kNear:
+      // Not expanded; see the header for why.
+      return expr;
+  }
+  return expr;
+}
+
+}  // namespace flexpath

@@ -1,0 +1,49 @@
+#ifndef FLEXPATH_IR_THESAURUS_H_
+#define FLEXPATH_IR_THESAURUS_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/ft_expr.h"
+#include "ir/tokenizer.h"
+
+namespace flexpath {
+
+/// Synonym table for keyword relaxation (Section 3.4: "relax the contains
+/// predicate by making use of thesauri and replacing keywords with more
+/// general ones"). The paper treats FTExp relaxation as the IR engine's
+/// job, to be applied before results are returned; ExpandWithThesaurus
+/// rewrites an expression so every term also matches its synonyms.
+class Thesaurus {
+ public:
+  Thesaurus() = default;
+
+  /// Registers `synonym` as an alternative for `term`. Both are
+  /// normalized with `opts` (which must match the indexing pipeline).
+  /// Symmetric registration is the caller's choice — call twice for
+  /// bidirectional synonymy.
+  void AddSynonym(std::string_view term, std::string_view synonym,
+                  const TokenizerOptions& opts = {});
+
+  /// Synonyms registered for the (normalized) term; empty if none.
+  const std::vector<std::string>& SynonymsOf(const std::string& term) const;
+
+  size_t size() const { return synonyms_.size(); }
+
+ private:
+  std::unordered_map<std::string, std::vector<std::string>> synonyms_;
+  std::vector<std::string> empty_;
+};
+
+/// Rewrites `expr` so each positive term t becomes (t or s1 or ... or sn)
+/// over its synonyms. Phrases and proximity groups are left untouched
+/// (their token-position semantics do not compose with substitution);
+/// negated subexpressions are also left untouched — broadening a negated
+/// term would *shrink* the result, which is not a relaxation.
+FtExpr ExpandWithThesaurus(const FtExpr& expr, const Thesaurus& thesaurus);
+
+}  // namespace flexpath
+
+#endif  // FLEXPATH_IR_THESAURUS_H_

@@ -1,0 +1,72 @@
+#include "ir/tokenizer.h"
+
+#include <array>
+
+#include "common/string_util.h"
+#include "ir/stemmer.h"
+
+namespace flexpath {
+
+namespace {
+
+constexpr std::string_view kStopwords[] = {
+    "a",    "an",   "and",  "are",  "as",   "at",   "be",   "but",  "by",
+    "for",  "if",   "in",   "into", "is",   "it",   "no",   "not",  "of",
+    "on",   "or",   "such", "that", "the",  "their", "then", "there",
+    "these", "they", "this", "to",   "was",  "will", "with",
+};
+
+}  // namespace
+
+bool IsStopword(std::string_view word) {
+  for (std::string_view s : kStopwords) {
+    if (s == word) return true;
+  }
+  return false;
+}
+
+std::vector<PositionedToken> TokenizeWithPositions(
+    std::string_view text, const TokenizerOptions& opts) {
+  std::vector<PositionedToken> out;
+  std::string current;
+  uint32_t position = 0;
+  auto flush = [&]() {
+    if (current.empty()) return;
+    if (!(opts.drop_stopwords && IsStopword(current))) {
+      out.push_back(PositionedToken{
+          opts.stem ? PorterStem(current) : current, position});
+    }
+    ++position;  // stopwords still advance the position counter
+    current.clear();
+  };
+  for (char c : text) {
+    if (c >= 'a' && c <= 'z') {
+      current += c;
+    } else if (c >= 'A' && c <= 'Z') {
+      current += static_cast<char>(c - 'A' + 'a');
+    } else if (c >= '0' && c <= '9') {
+      current += c;
+    } else {
+      flush();
+    }
+  }
+  flush();
+  return out;
+}
+
+std::vector<std::string> Tokenize(std::string_view text,
+                                  const TokenizerOptions& opts) {
+  std::vector<std::string> out;
+  for (PositionedToken& t : TokenizeWithPositions(text, opts)) {
+    out.push_back(std::move(t.text));
+  }
+  return out;
+}
+
+std::string NormalizeTerm(std::string_view word, const TokenizerOptions& opts) {
+  std::string lower = ToLowerAscii(word);
+  if (opts.drop_stopwords && IsStopword(lower)) return "";
+  return opts.stem ? PorterStem(lower) : lower;
+}
+
+}  // namespace flexpath

@@ -1,0 +1,44 @@
+#ifndef FLEXPATH_IR_TOKENIZER_H_
+#define FLEXPATH_IR_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace flexpath {
+
+/// Tokenization options shared by indexing and query processing (both
+/// sides must agree or terms will not match).
+struct TokenizerOptions {
+  bool stem = true;             ///< Apply the Porter stemmer.
+  bool drop_stopwords = true;   ///< Drop common English stopwords.
+};
+
+/// Splits `text` into lowercase alphanumeric tokens, optionally removing
+/// stopwords and stemming. Non-ASCII bytes act as separators.
+std::vector<std::string> Tokenize(std::string_view text,
+                                  const TokenizerOptions& opts = {});
+
+/// A token with its position in the *unfiltered* token stream, so phrase
+/// adjacency is judged on the original text (a dropped stopword still
+/// separates "ring ... gold" from the phrase "ring gold").
+struct PositionedToken {
+  std::string text;
+  uint32_t position = 0;
+};
+
+/// Tokenize variant that reports original positions.
+std::vector<PositionedToken> TokenizeWithPositions(
+    std::string_view text, const TokenizerOptions& opts = {});
+
+/// Normalizes a single query keyword with the same pipeline (lowercase +
+/// stem). Returns an empty string for stopwords when drop_stopwords is on.
+std::string NormalizeTerm(std::string_view word,
+                          const TokenizerOptions& opts = {});
+
+/// True if `word` (lowercase) is in the built-in English stopword list.
+bool IsStopword(std::string_view word);
+
+}  // namespace flexpath
+
+#endif  // FLEXPATH_IR_TOKENIZER_H_

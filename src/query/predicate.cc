@@ -1,0 +1,73 @@
+#include "query/predicate.h"
+
+#include <cstdlib>
+
+namespace flexpath {
+
+namespace {
+
+std::string VarName(VarId v) { return "$" + std::to_string(v); }
+
+bool ParseNumber(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+}  // namespace
+
+std::string Predicate::ToString(const TagDict* dict) const {
+  switch (kind) {
+    case PredKind::kPc:
+      return "pc(" + VarName(x) + "," + VarName(y) + ")";
+    case PredKind::kAd:
+      return "ad(" + VarName(x) + "," + VarName(y) + ")";
+    case PredKind::kTag: {
+      std::string name = dict != nullptr && tag != kInvalidTag
+                             ? dict->Name(tag)
+                             : "#" + std::to_string(tag);
+      return VarName(x) + ".tag=" + name;
+    }
+    case PredKind::kContains:
+      return "contains(" + VarName(x) + "," + expr_key + ")";
+  }
+  return "";
+}
+
+bool AttrPred::Matches(const std::string& data_value) const {
+  double a = 0;
+  double b = 0;
+  int cmp;
+  if (ParseNumber(data_value, &a) && ParseNumber(value, &b)) {
+    cmp = a < b ? -1 : (a > b ? 1 : 0);
+  } else {
+    cmp = data_value.compare(value);
+    cmp = cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
+  }
+  switch (op) {
+    case Op::kEq:
+      return cmp == 0;
+    case Op::kNe:
+      return cmp != 0;
+    case Op::kLt:
+      return cmp < 0;
+    case Op::kLe:
+      return cmp <= 0;
+    case Op::kGt:
+      return cmp > 0;
+    case Op::kGe:
+      return cmp >= 0;
+  }
+  return false;
+}
+
+std::string AttrPred::ToString(const TagDict* dict) const {
+  static constexpr const char* kOps[] = {"=", "!=", "<", "<=", ">", ">="};
+  std::string name = dict != nullptr && attr != kInvalidTag
+                         ? dict->Name(attr)
+                         : "#" + std::to_string(attr);
+  return "@" + name + kOps[static_cast<int>(op)] + "'" + value + "'";
+}
+
+}  // namespace flexpath

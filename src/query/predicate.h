@@ -1,0 +1,87 @@
+#ifndef FLEXPATH_QUERY_PREDICATE_H_
+#define FLEXPATH_QUERY_PREDICATE_H_
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/ft_expr.h"
+#include "xml/tag_dict.h"
+
+namespace flexpath {
+
+/// Query variable id ($1, $2, ... of the paper). Variable ids are stable
+/// under relaxation: a relaxed query refers to the original query's
+/// variables, which is what makes predicate-level scoring well defined.
+using VarId = uint32_t;
+
+inline constexpr VarId kInvalidVar = UINT32_MAX;
+
+/// The predicate alphabet of a TPQ's logical form (Section 2.1):
+/// structural predicates pc($x,$y) and ad($x,$y), the tag constraint
+/// $x.tag = t, and contains($x, FTExp).
+enum class PredKind : uint8_t {
+  kPc = 0,
+  kAd = 1,
+  kTag = 2,
+  kContains = 3,
+};
+
+/// One predicate of a logical query. Value type with total order (used to
+/// keep predicate sets sorted/unique and to make closure/core
+/// deterministic).
+struct Predicate {
+  PredKind kind = PredKind::kPc;
+  VarId x = kInvalidVar;  ///< Subject (ancestor side for pc/ad).
+  VarId y = kInvalidVar;  ///< Descendant side for pc/ad; unused otherwise.
+  TagId tag = kInvalidTag;     ///< For kTag.
+  std::string expr_key;        ///< For kContains: canonical FTExp text.
+
+  static Predicate Pc(VarId x, VarId y) {
+    return Predicate{PredKind::kPc, x, y, kInvalidTag, ""};
+  }
+  static Predicate Ad(VarId x, VarId y) {
+    return Predicate{PredKind::kAd, x, y, kInvalidTag, ""};
+  }
+  static Predicate Tag(VarId x, TagId tag) {
+    return Predicate{PredKind::kTag, x, kInvalidVar, tag, ""};
+  }
+  static Predicate Contains(VarId x, const FtExpr& expr) {
+    return Predicate{PredKind::kContains, x, kInvalidVar, kInvalidTag,
+                     expr.ToString()};
+  }
+  static Predicate ContainsKey(VarId x, std::string key) {
+    return Predicate{PredKind::kContains, x, kInvalidVar, kInvalidTag,
+                     std::move(key)};
+  }
+
+  friend bool operator==(const Predicate&, const Predicate&) = default;
+  friend auto operator<=>(const Predicate&, const Predicate&) = default;
+
+  /// Human-readable form, e.g. `pc($1,$2)` or `contains($4,"xml")`.
+  std::string ToString(const TagDict* dict = nullptr) const;
+};
+
+/// An attribute comparison predicate ($i.attr relOp value, Section 2.1).
+/// These are value-based predicates that are never relaxed; they filter
+/// candidate elements during evaluation. Comparison is numeric when both
+/// sides parse as numbers, lexicographic otherwise.
+struct AttrPred {
+  enum class Op : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+  TagId attr = kInvalidTag;
+  Op op = Op::kEq;
+  std::string value;
+
+  /// Applies the comparison to an attribute value from the data.
+  bool Matches(const std::string& data_value) const;
+
+  friend bool operator==(const AttrPred&, const AttrPred&) = default;
+
+  std::string ToString(const TagDict* dict = nullptr) const;
+};
+
+}  // namespace flexpath
+
+#endif  // FLEXPATH_QUERY_PREDICATE_H_

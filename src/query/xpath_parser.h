@@ -1,0 +1,31 @@
+#ifndef FLEXPATH_QUERY_XPATH_PARSER_H_
+#define FLEXPATH_QUERY_XPATH_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "ir/tokenizer.h"
+#include "query/tpq.h"
+#include "xml/tag_dict.h"
+
+namespace flexpath {
+
+/// Parses the tree-pattern fragment of XPath used throughout the paper
+/// into a Tpq. Supported:
+///   - absolute paths with / (parent-child) and // (ancestor-descendant)
+///     steps: //article/section, //item//parlist
+///   - predicates [..] containing relative paths (./a/b, .//c), possibly
+///     nested, combined with `and`
+///   - full-text: .contains("XML" and "streaming") or
+///     contains(., "XML" and "streaming") — FTExp syntax per ParseFtExpr
+///   - attribute comparisons: [@id='item1'], [@quantity >= 2]
+/// The distinguished (answer) node is the last step of the main path.
+/// Tag names are interned into `dict`; keywords are normalized with
+/// `opts`. Disjunction between structural predicates is rejected (tree
+/// patterns are conjunctive); use `or` inside contains(...) instead.
+Result<Tpq> ParseXPath(std::string_view input, TagDict* dict,
+                       const TokenizerOptions& opts = {});
+
+}  // namespace flexpath
+
+#endif  // FLEXPATH_QUERY_XPATH_PARSER_H_

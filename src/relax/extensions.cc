@@ -1,0 +1,68 @@
+#include "relax/extensions.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace flexpath {
+
+std::vector<VarId> TagGeneralizableVars(const Tpq& q,
+                                        const TypeHierarchy& hierarchy) {
+  std::vector<VarId> out;
+  for (VarId v : q.Vars()) {
+    const TagId tag = q.node(v).tag;
+    if (tag != kInvalidTag && hierarchy.SupertypeOf(tag) != kInvalidTag) {
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+Result<Tpq> ApplyTagGeneralization(const Tpq& q, VarId var,
+                                   const TypeHierarchy& hierarchy) {
+  if (!q.HasVar(var)) return Status::NotFound("no such variable");
+  const TagId tag = q.node(var).tag;
+  if (tag == kInvalidTag) {
+    return Status::InvalidArgument("variable has no tag constraint");
+  }
+  const TagId super = hierarchy.SupertypeOf(tag);
+  if (super == kInvalidTag) {
+    return Status::InvalidArgument("tag has no supertype");
+  }
+  Tpq out = q;
+  out.mutable_node(var).tag = super;
+  return out;
+}
+
+Result<AttrPred> RelaxAttrPred(const AttrPred& pred, double slack) {
+  if (slack <= 0) {
+    return Status::InvalidArgument("slack must be positive");
+  }
+  char* end = nullptr;
+  const double value = std::strtod(pred.value.c_str(), &end);
+  if (end != pred.value.c_str() + pred.value.size() || pred.value.empty()) {
+    return Status::InvalidArgument("attribute value is not numeric");
+  }
+  AttrPred out = pred;
+  double relaxed = value;
+  switch (pred.op) {
+    case AttrPred::Op::kLt:
+    case AttrPred::Op::kLe:
+      relaxed = value + slack;
+      break;
+    case AttrPred::Op::kGt:
+    case AttrPred::Op::kGe:
+      relaxed = value - slack;
+      break;
+    case AttrPred::Op::kEq:
+    case AttrPred::Op::kNe:
+      return Status::InvalidArgument(
+          "equality predicates have no single-predicate relaxation");
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", relaxed);
+  out.value = buf;
+  return out;
+}
+
+}  // namespace flexpath

@@ -1,0 +1,40 @@
+#ifndef FLEXPATH_RELAX_EXTENSIONS_H_
+#define FLEXPATH_RELAX_EXTENSIONS_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "query/predicate.h"
+#include "query/tpq.h"
+#include "xml/type_hierarchy.h"
+
+namespace flexpath {
+
+/// The "other relaxations" of the paper's Section 3.4. These are
+/// orthogonal to the four primitive operators (they weaken value-based
+/// predicates rather than structural ones) and are therefore exposed as
+/// standalone rewrites instead of entering the penalty-ordered schedule:
+/// apply them to the query before running top-K when wanted.
+
+/// Variables whose tag constraint can be generalized — those with a tag
+/// that has a supertype in `hierarchy`.
+std::vector<VarId> TagGeneralizableVars(const Tpq& q,
+                                        const TypeHierarchy& hierarchy);
+
+/// Replaces $var's tag with its direct supertype (e.g. article ->
+/// publication). The result matches every element the original matched
+/// plus all sibling subtypes — a strict relaxation when evaluated against
+/// an ElementIndex built with the same hierarchy. Fails if $var has no
+/// tag or its tag has no supertype.
+Result<Tpq> ApplyTagGeneralization(const Tpq& q, VarId var,
+                                   const TypeHierarchy& hierarchy);
+
+/// Weakens a numeric comparison by `slack` (> 0): @price <= 98 becomes
+/// @price <= 98 + slack; >= moves down; == widens to a [v-slack, v+slack]
+/// check is NOT expressible in one AttrPred, so == and != are rejected.
+/// The paper's example: $i.price <= 98 relaxed to <= 100 (slack = 2).
+Result<AttrPred> RelaxAttrPred(const AttrPred& pred, double slack);
+
+}  // namespace flexpath
+
+#endif  // FLEXPATH_RELAX_EXTENSIONS_H_

@@ -1,0 +1,60 @@
+#ifndef FLEXPATH_RELAX_PENALTY_H_
+#define FLEXPATH_RELAX_PENALTY_H_
+
+#include <map>
+
+#include "ir/engine.h"
+#include "query/logical.h"
+#include "query/tpq.h"
+#include "stats/document_stats.h"
+
+namespace flexpath {
+
+/// Predicate weights (Section 4.1/4.3). Uniform by default; the contains
+/// predicate has weight 1 per the paper. Per-predicate overrides allow
+/// user-specified weighting.
+struct Weights {
+  double structural = 1.0;
+  double contains = 1.0;
+  std::map<Predicate, double> overrides;
+
+  double Of(const Predicate& p) const {
+    auto it = overrides.find(p);
+    if (it != overrides.end()) return it->second;
+    return p.kind == PredKind::kContains ? contains : structural;
+  }
+};
+
+/// Data-derived predicate penalties (Section 4.3.1): π(p) measures the
+/// context an answer loses by not satisfying p.
+///   π(pc(i,j)) = #pc(ti,tj) / #ad(ti,tj)            * w(pc(i,j))
+///   π(ad(i,j)) = #ad(ti,tj) / (#(ti) * #(tj))       * w(ad(i,j))
+///   π(contains(i,E)) = #contains(ti,E) / #contains(tl,E) * w(...)
+/// where tl is the tag of $i's parent in the query. Ratios with a zero
+/// denominator default to 1 (dropping gains nothing, so the full weight
+/// is lost). Tag predicates are never dropped and have no penalty.
+class PenaltyModel {
+ public:
+  /// `stats` and `ir` must outlive the model. `ir` may be null when the
+  /// query has no contains predicates.
+  PenaltyModel(const Tpq& query, const DocumentStats* stats, IrEngine* ir,
+               Weights weights);
+
+  /// π(p) for a predicate of the query's closure. Unknown predicates
+  /// (e.g. tag predicates) cost their full weight, so dropping them is
+  /// never attractive.
+  double Of(const Predicate& p) const;
+
+  /// Sum of penalties over a predicate set.
+  double Sum(const std::set<Predicate>& preds) const;
+
+  const Weights& weights() const { return weights_; }
+
+ private:
+  std::map<Predicate, double> penalties_;
+  Weights weights_;
+};
+
+}  // namespace flexpath
+
+#endif  // FLEXPATH_RELAX_PENALTY_H_

@@ -1,0 +1,79 @@
+#include "relax/schedule.h"
+
+#include <algorithm>
+
+namespace flexpath {
+
+namespace {
+
+/// Closure predicates of `q` restricted to droppable kinds (tag
+/// predicates are never dropped by the operators; they disappear only
+/// with their variable).
+std::set<Predicate> ClosurePreds(const Tpq& q) {
+  return Closure(ToLogical(q)).preds;
+}
+
+}  // namespace
+
+std::vector<ScheduleEntry> BuildSchedule(const Tpq& q,
+                                         const PenaltyModel& pm) {
+  const std::set<Predicate> original = ClosurePreds(q);
+  std::vector<ScheduleEntry> out;
+  Tpq current = q;
+  std::set<Predicate> dropped_so_far;
+
+  for (;;) {
+    // Evaluate every applicable operator's marginal drop set.
+    struct Candidate {
+      RelaxOp op;
+      Tpq relaxed;
+      std::set<Predicate> cumulative;
+      double marginal_penalty = 0.0;
+    };
+    std::optional<Candidate> best;
+    for (const RelaxOp& op : ApplicableOps(current)) {
+      if (op.kind == RelaxOpKind::kLeafDeletion &&
+          op.var == current.distinguished()) {
+        continue;  // would change the answer node
+      }
+      Result<Tpq> relaxed = ApplyOp(current, op);
+      if (!relaxed.ok()) continue;
+      std::set<Predicate> remaining = ClosurePreds(*relaxed);
+      // Cumulative drop set relative to the *original* closure.
+      std::set<Predicate> cumulative;
+      for (const Predicate& p : original) {
+        if (remaining.count(p) == 0) cumulative.insert(p);
+      }
+      double marginal = 0.0;
+      bool grows = false;
+      for (const Predicate& p : cumulative) {
+        if (dropped_so_far.count(p) == 0) {
+          marginal += pm.Of(p);
+          grows = true;
+        }
+      }
+      if (!grows) continue;  // no new predicate dropped
+      if (!best || marginal < best->marginal_penalty ||
+          (marginal == best->marginal_penalty && op < best->op)) {
+        best = Candidate{op, *std::move(relaxed), std::move(cumulative),
+                         marginal};
+      }
+    }
+    if (!best) break;
+
+    ScheduleEntry entry;
+    entry.op = best->op;
+    entry.relaxed = std::move(best->relaxed);
+    entry.dropped = std::move(best->cumulative);
+    entry.step_penalty = best->marginal_penalty;
+    entry.cumulative_penalty =
+        (out.empty() ? 0.0 : out.back().cumulative_penalty) +
+        best->marginal_penalty;
+    current = entry.relaxed;
+    dropped_so_far = entry.dropped;
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+}  // namespace flexpath

@@ -1,0 +1,37 @@
+#ifndef FLEXPATH_RELAX_SCHEDULE_H_
+#define FLEXPATH_RELAX_SCHEDULE_H_
+
+#include <set>
+#include <vector>
+
+#include "query/logical.h"
+#include "query/tpq.h"
+#include "relax/operators.h"
+#include "relax/penalty.h"
+
+namespace flexpath {
+
+/// One entry of the relaxation schedule: the chain Q = Q_0 ⊂ Q_1 ⊂ ... of
+/// relaxations obtained by greedily applying, at each point, the
+/// applicable operator with the lowest marginal penalty — the paper's
+/// "sort predicates by increasing penalty and drop the next one"
+/// discipline, realized through the operator algebra (Section 3.5's
+/// footnote: predicate dropping is achieved using relaxation operations).
+struct ScheduleEntry {
+  RelaxOp op;                   ///< Applied to the previous chain query.
+  Tpq relaxed;                  ///< Query after this step.
+  std::set<Predicate> dropped;  ///< Cumulative S_i vs the original closure.
+  double step_penalty = 0.0;    ///< π of the newly dropped predicates.
+  double cumulative_penalty = 0.0;  ///< Σ π(S_i).
+};
+
+/// Builds the maximal relaxation chain for `q`. Each entry drops at least
+/// one additional closure predicate, so the chain is finite. Leaf
+/// deletion of the distinguished variable is excluded (it would change
+/// what the query returns; the top-K drivers must compare like answers).
+std::vector<ScheduleEntry> BuildSchedule(const Tpq& q,
+                                         const PenaltyModel& pm);
+
+}  // namespace flexpath
+
+#endif  // FLEXPATH_RELAX_SCHEDULE_H_

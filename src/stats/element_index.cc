@@ -1,0 +1,41 @@
+#include "stats/element_index.h"
+
+#include <algorithm>
+
+namespace flexpath {
+
+ElementIndex::ElementIndex(const Corpus* corpus,
+                           const TypeHierarchy* hierarchy)
+    : corpus_(corpus), hierarchy_(hierarchy) {
+  by_tag_.resize(corpus_->tags().size());
+  for (DocId d = 0; d < corpus_->size(); ++d) {
+    const Document& doc = corpus_->doc(d);
+    for (NodeId n = 0; n < doc.size(); ++n) {
+      const TagId tag = doc.node(n).tag;
+      if (tag < by_tag_.size()) by_tag_[tag].push_back(NodeRef{d, n});
+    }
+  }
+}
+
+const std::vector<NodeRef>& ElementIndex::Scan(TagId tag) const {
+  if (tag == kInvalidTag) return empty_;
+  if (hierarchy_ != nullptr && !hierarchy_->empty()) {
+    const std::vector<TagId> closure = hierarchy_->SubtypeClosure(tag);
+    if (closure.size() > 1) {
+      auto it = merged_.find(tag);
+      if (it != merged_.end()) return it->second;
+      std::vector<NodeRef> merged;
+      for (TagId t : closure) {
+        if (t < by_tag_.size()) {
+          merged.insert(merged.end(), by_tag_[t].begin(), by_tag_[t].end());
+        }
+      }
+      std::sort(merged.begin(), merged.end());
+      return merged_.emplace(tag, std::move(merged)).first->second;
+    }
+  }
+  if (tag >= by_tag_.size()) return empty_;
+  return by_tag_[tag];
+}
+
+}  // namespace flexpath

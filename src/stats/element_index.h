@@ -1,0 +1,52 @@
+#ifndef FLEXPATH_STATS_ELEMENT_INDEX_H_
+#define FLEXPATH_STATS_ELEMENT_INDEX_H_
+
+#include <map>
+#include <vector>
+
+#include "xml/corpus.h"
+#include "xml/tag_dict.h"
+#include "xml/type_hierarchy.h"
+
+namespace flexpath {
+
+/// Tag-based access path: for each tag, the list of elements with that tag
+/// in global document order — i.e. sorted by (doc, start), which is the
+/// input format required by the structural join of Al-Khalifa et al. [1].
+///
+/// With a TypeHierarchy attached (the tag-generalization extension of
+/// Section 3.4), Scan(t) returns elements of t *or any transitive
+/// subtype*, so a query node constrained to a supertype matches all of
+/// its subtypes throughout the engine.
+class ElementIndex {
+ public:
+  /// Builds the index in one corpus pass. `corpus` (and `hierarchy` if
+  /// non-null) must outlive the index and not change afterwards.
+  explicit ElementIndex(const Corpus* corpus,
+                        const TypeHierarchy* hierarchy = nullptr);
+
+  ElementIndex(const ElementIndex&) = delete;
+  ElementIndex& operator=(const ElementIndex&) = delete;
+
+  /// Elements with tag `tag` (or a subtype), in document order. Empty
+  /// list for unknown tags (including kInvalidTag).
+  const std::vector<NodeRef>& Scan(TagId tag) const;
+
+  /// Number of elements the scan returns — #(t), subtypes included.
+  size_t Count(TagId tag) const { return Scan(tag).size(); }
+
+  const Corpus& corpus() const { return *corpus_; }
+  const TypeHierarchy* hierarchy() const { return hierarchy_; }
+
+ private:
+  const Corpus* corpus_;
+  const TypeHierarchy* hierarchy_;
+  std::vector<std::vector<NodeRef>> by_tag_;  ///< Indexed by TagId.
+  /// Lazily merged supertype scans (only when hierarchy_ is set).
+  mutable std::map<TagId, std::vector<NodeRef>> merged_;
+  std::vector<NodeRef> empty_;
+};
+
+}  // namespace flexpath
+
+#endif  // FLEXPATH_STATS_ELEMENT_INDEX_H_

@@ -1,0 +1,277 @@
+#include "xmark/generator.h"
+
+#include <string>
+
+#include "common/random.h"
+#include "xmark/wordlist.h"
+
+namespace flexpath {
+
+namespace {
+
+/// Stateful generation helper. Tracks an approximate serialized byte count
+/// so documents land near the requested size without serializing twice.
+class XMarkGen {
+ public:
+  XMarkGen(const XMarkOptions& opts, TagDict* dict)
+      : opts_(opts), rng_(opts.seed), builder_(dict) {}
+
+  Result<Document> Run(XMarkStatsSummary* out_stats) {
+    Open("site");
+    // ~70% of the byte budget goes to region items (the query targets);
+    // the rest to categories / people / auctions for realistic bulk.
+    const uint64_t item_budget = opts_.target_bytes * 7 / 10;
+    const uint64_t aux_budget = opts_.target_bytes - item_budget;
+
+    Open("regions");
+    static constexpr const char* kRegions[] = {
+        "africa", "asia", "australia", "europe", "namerica", "samerica"};
+    size_t region = 0;
+    Open(kRegions[region]);
+    while (bytes_ < item_budget) {
+      EmitItem();
+      // Rotate regions every few items so all six are populated.
+      if (stats_.items % 5 == 0) {
+        Close();
+        region = (region + 1) % 6;
+        Open(kRegions[region]);
+      }
+    }
+    Close();  // last region
+    Close();  // regions
+
+    const uint64_t cat_budget = bytes_ + aux_budget / 3;
+    Open("categories");
+    while (bytes_ < cat_budget) EmitCategory();
+    Close();
+
+    const uint64_t people_budget = bytes_ + aux_budget / 3;
+    Open("people");
+    while (bytes_ < people_budget) EmitPerson();
+    Close();
+
+    Open("open_auctions");
+    while (bytes_ < opts_.target_bytes) EmitOpenAuction();
+    Close();
+
+    Close();  // site
+    if (out_stats != nullptr) {
+      stats_.approx_bytes = bytes_;
+      *out_stats = stats_;
+    }
+    return std::move(builder_).Finish();
+  }
+
+ private:
+  void Open(std::string_view tag) {
+    builder_.Open(tag);
+    bytes_ += 2 * tag.size() + 5;  // "<t>" + "</t>"
+  }
+  void Close() { builder_.Close(); }
+
+  void Attr(std::string_view name, std::string_view value) {
+    (void)builder_.Attr(name, value);
+    bytes_ += name.size() + value.size() + 4;
+  }
+
+  void Text(const std::string& t) {
+    (void)builder_.Text(t);
+    bytes_ += t.size();
+  }
+
+  std::string Words(int min_words, int max_words) {
+    int n = static_cast<int>(rng_.UniformRange(min_words, max_words));
+    std::string out;
+    for (int i = 0; i < n; ++i) {
+      if (i > 0) out += ' ';
+      out += WordAt(rng_.Zipf(WordListSize(), opts_.zipf_s));
+    }
+    return out;
+  }
+
+  void Leaf(std::string_view tag, const std::string& text) {
+    Open(tag);
+    Text(text);
+    Close();
+  }
+
+  /// `text` element: PCDATA interleaved with optional bold/keyword/emph
+  /// markup children (the XMark "rich text" production).
+  void EmitText() {
+    Open("text");
+    Text(Words(6, 20));
+    if (rng_.Bernoulli(opts_.p_text_markup)) Leaf("bold", Words(1, 3));
+    if (rng_.Bernoulli(opts_.p_text_markup)) Leaf("keyword", Words(1, 3));
+    if (rng_.Bernoulli(opts_.p_text_markup)) Leaf("emph", Words(1, 3));
+    if (rng_.Bernoulli(0.5)) Text(Words(4, 12));
+    Close();
+  }
+
+  void EmitParlist(int depth) {
+    Open("parlist");
+    int items = static_cast<int>(rng_.UniformRange(1, 4));
+    for (int i = 0; i < items; ++i) {
+      Open("listitem");
+      if (depth < opts_.max_parlist_depth &&
+          rng_.Bernoulli(opts_.p_listitem_nested_parlist)) {
+        EmitParlist(depth + 1);
+      } else {
+        EmitText();
+      }
+      Close();
+    }
+    Close();
+  }
+
+  void EmitDescription() {
+    Open("description");
+    double u = rng_.NextDouble();
+    if (u < opts_.p_description_parlist) {
+      EmitParlist(1);
+    } else if (u < opts_.p_description_parlist + opts_.p_description_summary) {
+      // `summary` wrapper: parlist is a descendant, not a child, of
+      // description — axis generalization on description/parlist finds it.
+      Open("summary");
+      EmitText();
+      EmitParlist(1);
+      Close();
+    } else {
+      EmitText();
+    }
+    Close();
+  }
+
+  void EmitMail() {
+    Open("mail");
+    Leaf("from", Words(2, 3));
+    Leaf("to", Words(2, 3));
+    Leaf("date", Date());
+    double u = rng_.NextDouble();
+    if (u < opts_.p_mail_direct_text) {
+      EmitText();
+    } else if (u < opts_.p_mail_direct_text + opts_.p_mail_reply_text) {
+      // `reply` wrapper: text is a descendant, not a child, of mail —
+      // subtree promotion on text finds it.
+      Open("reply");
+      EmitText();
+      Close();
+    }
+    // else: mail with no text at all.
+    Close();
+  }
+
+  void EmitItem() {
+    ++stats_.items;
+    Open("item");
+    Attr("id", "item" + std::to_string(stats_.items));
+    Leaf("location", Words(1, 2));
+    Leaf("quantity", std::to_string(rng_.UniformRange(1, 10)));
+    Leaf("name", Words(2, 4));
+    Leaf("payment", Words(2, 5));
+    EmitDescription();
+    Leaf("shipping", Words(3, 6));
+    if (rng_.Bernoulli(opts_.p_item_has_incategory)) {
+      int cats = static_cast<int>(rng_.UniformRange(1, 4));
+      for (int i = 0; i < cats; ++i) {
+        Open("incategory");
+        Attr("category",
+             "category" + std::to_string(rng_.UniformRange(1, 50)));
+        Close();
+      }
+    }
+    Open("mailbox");
+    int mails = static_cast<int>(
+        rng_.UniformRange(0, opts_.max_mails_per_mailbox));
+    for (int i = 0; i < mails; ++i) EmitMail();
+    Close();
+    Close();
+  }
+
+  void EmitCategory() {
+    ++stats_.categories;
+    Open("category");
+    Attr("id", "category" + std::to_string(stats_.categories));
+    Leaf("name", Words(1, 3));
+    EmitDescription();
+    Close();
+  }
+
+  void EmitPerson() {
+    ++stats_.people;
+    Open("person");
+    Attr("id", "person" + std::to_string(stats_.people));
+    Leaf("name", Words(2, 2));
+    Leaf("emailaddress",
+         "mailto:" + Words(1, 1) + std::to_string(stats_.people) +
+             "@example.com");
+    if (rng_.Bernoulli(0.5)) Leaf("phone", Phone());
+    if (rng_.Bernoulli(0.3)) {
+      Open("address");
+      Leaf("street", Words(2, 3));
+      Leaf("city", Words(1, 1));
+      Leaf("country", Words(1, 1));
+      Close();
+    }
+    Close();
+  }
+
+  void EmitOpenAuction() {
+    ++stats_.open_auctions;
+    Open("open_auction");
+    Attr("id", "auction" + std::to_string(stats_.open_auctions));
+    Leaf("initial", Money());
+    Leaf("current", Money());
+    int bids = static_cast<int>(rng_.UniformRange(0, 4));
+    for (int i = 0; i < bids; ++i) {
+      Open("bidder");
+      Leaf("date", Date());
+      Leaf("increase", Money());
+      Close();
+    }
+    Open("itemref");
+    Attr("item", "item" + std::to_string(rng_.UniformRange(
+                     1, stats_.items > 0 ? stats_.items : 1)));
+    Close();
+    if (rng_.Bernoulli(0.6)) {
+      Open("annotation");
+      EmitDescription();
+      Close();
+    }
+    Close();
+  }
+
+  std::string Date() {
+    return std::to_string(rng_.UniformRange(1, 12)) + "/" +
+           std::to_string(rng_.UniformRange(1, 28)) + "/" +
+           std::to_string(rng_.UniformRange(1998, 2003));
+  }
+
+  std::string Money() {
+    return std::to_string(rng_.UniformRange(1, 5000)) + "." +
+           std::to_string(rng_.UniformRange(0, 99));
+  }
+
+  std::string Phone() {
+    return "+1 (" + std::to_string(rng_.UniformRange(100, 999)) + ") " +
+           std::to_string(rng_.UniformRange(1000000, 9999999));
+  }
+
+  const XMarkOptions& opts_;
+  Rng rng_;
+  DocumentBuilder builder_;
+  uint64_t bytes_ = 0;
+  XMarkStatsSummary stats_;
+};
+
+}  // namespace
+
+Result<Document> GenerateXMark(const XMarkOptions& options, TagDict* dict,
+                               XMarkStatsSummary* out_stats) {
+  if (options.target_bytes == 0) {
+    return Status::InvalidArgument("target_bytes must be > 0");
+  }
+  XMarkGen gen(options, dict);
+  return gen.Run(out_stats);
+}
+
+}  // namespace flexpath

@@ -1,0 +1,61 @@
+#ifndef FLEXPATH_XMARK_GENERATOR_H_
+#define FLEXPATH_XMARK_GENERATOR_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "xml/document.h"
+#include "xml/tag_dict.h"
+
+namespace flexpath {
+
+/// Tuning knobs for the XMark-style generator. Defaults reproduce the
+/// schema features the paper's Section 6 relies on:
+///  - recursive `parlist` (enables axis generalization),
+///  - optional `incategory` (enables leaf deletion),
+///  - `text` shared between `mail`, `listitem` and a `reply` wrapper
+///    (enables subtree promotion),
+///  - `description` content that is sometimes a `summary` wrapper around
+///    `parlist` (so `description//parlist` strictly contains
+///    `description/parlist`).
+struct XMarkOptions {
+  /// Approximate serialized size of the generated document, in bytes.
+  uint64_t target_bytes = 1 << 20;  // 1 MB
+  /// RNG seed; equal seeds + options produce identical documents.
+  uint64_t seed = 42;
+
+  // Content-mix probabilities (see the schema notes above). The defaults
+  // are calibrated so that, at the paper's 1MB/K=50 operating point, the
+  // Section 6 queries need roughly the same number of relaxations the
+  // paper reports (Q1: none, Q2: a couple, Q3: around six).
+  double p_description_parlist = 0.15;  ///< description -> parlist directly.
+  double p_description_summary = 0.15;  ///< description -> summary -> parlist.
+  double p_listitem_nested_parlist = 0.30;  ///< listitem recurses.
+  int max_parlist_depth = 3;
+  double p_item_has_incategory = 0.75;  ///< else the optional leaf is absent.
+  double p_mail_direct_text = 0.35;     ///< mail -> text directly.
+  double p_mail_reply_text = 0.15;      ///< mail -> reply -> text.
+  int max_mails_per_mailbox = 2;
+  double p_text_markup = 0.55;  ///< each of bold/keyword/emph, independently.
+  double zipf_s = 1.0;          ///< word-draw skew.
+};
+
+/// Summary of what was generated (useful for calibrating benchmarks and in
+/// tests).
+struct XMarkStatsSummary {
+  uint64_t approx_bytes = 0;
+  uint32_t items = 0;
+  uint32_t categories = 0;
+  uint32_t people = 0;
+  uint32_t open_auctions = 0;
+};
+
+/// Generates one XMark-style auction document into `dict`. Deterministic
+/// in (options, seed). If `out_stats` is non-null it receives generation
+/// counters.
+Result<Document> GenerateXMark(const XMarkOptions& options, TagDict* dict,
+                               XMarkStatsSummary* out_stats = nullptr);
+
+}  // namespace flexpath
+
+#endif  // FLEXPATH_XMARK_GENERATOR_H_

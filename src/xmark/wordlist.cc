@@ -1,0 +1,73 @@
+#include "xmark/wordlist.h"
+
+namespace flexpath {
+
+namespace {
+
+// A ~360-word vocabulary. The first few dozen entries (most likely under a
+// Zipf draw) are common English words; later entries include the
+// domain-flavored terms the example queries search for ("xml",
+// "streaming", "algorithm", ...), so full-text predicates have realistic,
+// non-trivial selectivity.
+constexpr std::string_view kWords[] = {
+    "the", "and", "of", "to", "a", "in", "that", "is", "was", "he",
+    "for", "it", "with", "as", "his", "on", "be", "at", "by", "had",
+    "not", "are", "but", "from", "or", "have", "an", "they", "which",
+    "one", "you", "were", "her", "all", "she", "there", "would", "their",
+    "we", "him", "been", "has", "when", "who", "will", "more", "no",
+    "if", "out", "so", "said", "what", "up", "its", "about", "into",
+    "than", "them", "can", "only", "other", "new", "some", "could",
+    "time", "these", "two", "may", "then", "do", "first", "any", "my",
+    "now", "such", "like", "our", "over", "man", "me", "even", "most",
+    "made", "after", "also", "did", "many", "before", "must", "through",
+    "years", "where", "much", "your", "way", "well", "down", "should",
+    "because", "each", "just", "those", "people", "how", "too", "little",
+    "state", "good", "very", "make", "world", "still", "own", "see",
+    "men", "work", "long", "get", "here", "between", "both", "life",
+    "being", "under", "never", "day", "same", "another", "know", "while",
+    "last", "might", "us", "great", "old", "year", "off", "come",
+    "since", "against", "go", "came", "right", "used", "take", "three",
+    "states", "himself", "few", "house", "use", "during", "without",
+    "again", "place", "american", "around", "however", "home", "small",
+    "found", "thought", "went", "say", "part", "once", "general", "high",
+    "upon", "school", "every", "dont", "does", "got", "united", "left",
+    "number", "course", "war", "until", "always", "away", "something",
+    "fact", "though", "water", "less", "public", "put", "think",
+    "almost", "hand", "enough", "far", "took", "head", "yet",
+    "government", "system", "better", "set", "told", "nothing", "night",
+    "end", "why", "called", "didnt", "eyes", "find", "going", "look",
+    "asked", "later", "point", "knew", "next", "city", "business",
+    "program", "give", "group", "toward", "young", "days", "let",
+    "room", "side", "social", "present", "given", "several", "order",
+    "national", "second", "possible", "rather", "per", "face", "among",
+    "form", "important", "often", "things", "looked", "early", "white",
+    "case", "become", "large", "need", "big", "four", "within", "felt",
+    "along", "children", "saw", "best", "church", "ever", "least",
+    "power", "development", "light", "thing", "family", "interest",
+    "seemed", "want", "members", "mind", "country", "area", "others",
+    "although", "turned", "done", "open", "service", "certain", "kind",
+    "problem", "began", "different", "door", "thus", "help", "means",
+    "god", "sense", "whole", "matter", "perhaps", "itself", "york",
+    "times", "human", "law", "line", "above", "name", "example",
+    "action", "company", "hands", "local", "show", "whether", "five",
+    "history", "gave", "today", "either", "act", "feet", "across",
+    "taken", "past", "quite", "anything", "seen", "having", "death",
+    "week", "field", "car", "experience", "money", "word", "really",
+    // Domain-flavored tail so query keywords exist with low frequency.
+    "xml", "streaming", "algorithm", "database", "query", "index",
+    "search", "structure", "pattern", "engine", "keyword", "ranking",
+    "relaxation", "semantics", "parser", "document", "element", "schema",
+    "fragment", "retrieval", "auction", "bidder", "reserve", "shipping",
+    "payment", "category", "vintage", "antique", "gold", "silver",
+    "platinum", "rare", "collector", "estate", "auctioneer", "lot",
+    "appraisal", "certified", "authentic", "restored", "mint",
+    "condition", "original", "limited", "edition", "signed", "numbered",
+};
+
+}  // namespace
+
+size_t WordListSize() { return sizeof(kWords) / sizeof(kWords[0]); }
+
+std::string_view WordAt(size_t i) { return kWords[i]; }
+
+}  // namespace flexpath

@@ -1,0 +1,22 @@
+#ifndef FLEXPATH_XMARK_WORDLIST_H_
+#define FLEXPATH_XMARK_WORDLIST_H_
+
+#include <cstddef>
+#include <string_view>
+
+namespace flexpath {
+
+/// Fixed vocabulary used by the XMark-style generator. The original XMark
+/// xmlgen draws words from a Shakespeare-derived list; we embed a smaller
+/// list with a similar flavor and draw from it Zipf-distributed, which
+/// reproduces the skewed term-frequency distribution the IR engine sees.
+/// Entries are lowercase and stable across releases (tests depend on
+/// determinism, not on specific entries).
+size_t WordListSize();
+
+/// Returns the i-th word; i must be < WordListSize().
+std::string_view WordAt(size_t i);
+
+}  // namespace flexpath
+
+#endif  // FLEXPATH_XMARK_WORDLIST_H_

@@ -1,0 +1,32 @@
+#ifndef FLEXPATH_XML_BINARY_CODEC_H_
+#define FLEXPATH_XML_BINARY_CODEC_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "xml/corpus.h"
+
+namespace flexpath {
+
+/// Compact binary snapshot of a corpus (tag dictionary + documents with
+/// structure, text and attributes), so large collections load without
+/// re-parsing XML. Varint-encoded; format:
+///   magic "FXP1" | tag dictionary | document count | per document:
+///   node count, then per node: tag, parent+1, text, attribute list.
+/// Interval numbers and sibling links are *recomputed* on load (they are
+/// derivable), which keeps the snapshot small and the loader the single
+/// source of truth for the encoding invariants.
+std::string EncodeCorpus(const Corpus& corpus);
+
+/// Decodes a snapshot produced by EncodeCorpus. Fails (without crashing)
+/// on truncated or corrupted input.
+Result<Corpus> DecodeCorpus(std::string_view data);
+
+/// Convenience file wrappers.
+Status SaveCorpus(const Corpus& corpus, const std::string& path);
+Result<Corpus> LoadCorpus(const std::string& path);
+
+}  // namespace flexpath
+
+#endif  // FLEXPATH_XML_BINARY_CODEC_H_

@@ -1,0 +1,24 @@
+#include "xml/corpus.h"
+
+#include "xml/parser.h"
+
+namespace flexpath {
+
+DocId Corpus::Add(Document doc) {
+  docs_.push_back(std::move(doc));
+  return static_cast<DocId>(docs_.size() - 1);
+}
+
+Result<DocId> Corpus::AddXml(std::string_view xml) {
+  Result<Document> doc = ParseXml(xml, &tags_);
+  if (!doc.ok()) return doc.status();
+  return Add(std::move(doc).value());
+}
+
+size_t Corpus::TotalNodes() const {
+  size_t n = 0;
+  for (const Document& d : docs_) n += d.size();
+  return n;
+}
+
+}  // namespace flexpath

@@ -1,0 +1,76 @@
+#ifndef FLEXPATH_XML_CORPUS_H_
+#define FLEXPATH_XML_CORPUS_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "xml/document.h"
+#include "xml/tag_dict.h"
+
+namespace flexpath {
+
+/// Index of a document within a Corpus.
+using DocId = uint32_t;
+
+/// A (document, node) handle identifying one element anywhere in a corpus.
+/// Orders by (doc, node) — i.e., global document order — which is the sort
+/// order the structural join expects.
+struct NodeRef {
+  DocId doc = 0;
+  NodeId node = 0;
+
+  friend bool operator==(const NodeRef&, const NodeRef&) = default;
+  friend auto operator<=>(const NodeRef&, const NodeRef&) = default;
+};
+
+/// A collection of XML documents sharing one tag dictionary. This is the
+/// "XML database D" of the paper. Documents are immutable once added;
+/// indexes (see src/ir, src/stats, src/exec) are built over a frozen
+/// corpus.
+class Corpus {
+ public:
+  Corpus() = default;
+  Corpus(const Corpus&) = delete;
+  Corpus& operator=(const Corpus&) = delete;
+  Corpus(Corpus&&) = default;
+  Corpus& operator=(Corpus&&) = default;
+
+  /// Adds an already-built document (e.g., from DocumentBuilder or the
+  /// XMark generator). The document must have been built against tags().
+  DocId Add(Document doc);
+
+  /// Parses `xml` and adds the resulting document.
+  Result<DocId> AddXml(std::string_view xml);
+
+  size_t size() const { return docs_.size(); }
+  const Document& doc(DocId id) const { return docs_[id]; }
+  const Element& node(NodeRef ref) const {
+    return docs_[ref.doc].node(ref.node);
+  }
+
+  TagDict* tags() { return &tags_; }
+  const TagDict& tags() const { return tags_; }
+
+  /// Total number of element nodes across all documents.
+  size_t TotalNodes() const;
+
+  /// True iff `a` is a proper ancestor of `d` (requires same document).
+  bool IsAncestor(NodeRef a, NodeRef d) const {
+    return a.doc == d.doc && docs_[a.doc].IsAncestor(a.node, d.node);
+  }
+
+  /// True iff `a` is the parent of `d` (requires same document).
+  bool IsParent(NodeRef a, NodeRef d) const {
+    return a.doc == d.doc && docs_[a.doc].IsParent(a.node, d.node);
+  }
+
+ private:
+  TagDict tags_;
+  std::vector<Document> docs_;
+};
+
+}  // namespace flexpath
+
+#endif  // FLEXPATH_XML_CORPUS_H_

@@ -1,0 +1,133 @@
+#ifndef FLEXPATH_XML_DOCUMENT_H_
+#define FLEXPATH_XML_DOCUMENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "xml/tag_dict.h"
+
+namespace flexpath {
+
+/// Index of an element within its Document (pre-order position).
+using NodeId = uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = UINT32_MAX;
+
+/// One attribute on an element.
+struct Attribute {
+  TagId name = kInvalidTag;
+  std::string value;
+};
+
+/// One element node. Elements carry Dietz interval numbers
+/// (start, end, level): `a` is an ancestor of `d` iff
+/// a.start < d.start && d.end < a.end; `a` is the parent of `d` iff
+/// additionally d.level == a.level + 1. Input lists sorted by node id are
+/// automatically sorted by `start`, which the structural join requires.
+struct Element {
+  TagId tag = kInvalidTag;
+  NodeId parent = kInvalidNode;
+  NodeId first_child = kInvalidNode;
+  NodeId next_sibling = kInvalidNode;
+  uint32_t start = 0;   ///< Interval open number.
+  uint32_t end = 0;     ///< Interval close number (> start).
+  uint32_t level = 0;   ///< Root is level 0.
+  std::string text;     ///< Immediate text content (children excluded).
+  std::vector<Attribute> attrs;
+};
+
+/// An in-memory XML document: a vector of elements in document (pre-)order,
+/// so NodeId doubles as document order. Build with DocumentBuilder or the
+/// Parser; immutable afterwards.
+class Document {
+ public:
+  Document() = default;
+  Document(Document&&) = default;
+  Document& operator=(Document&&) = default;
+  Document(const Document&) = delete;
+  Document& operator=(const Document&) = delete;
+
+  /// Number of element nodes.
+  size_t size() const { return nodes_.size(); }
+  bool empty() const { return nodes_.empty(); }
+
+  const Element& node(NodeId id) const { return nodes_[id]; }
+  NodeId root() const { return nodes_.empty() ? kInvalidNode : 0; }
+
+  /// True iff `a` is a proper ancestor of `d`.
+  bool IsAncestor(NodeId a, NodeId d) const {
+    const Element& ea = nodes_[a];
+    const Element& ed = nodes_[d];
+    return ea.start < ed.start && ed.end < ea.end;
+  }
+
+  /// True iff `a` is the parent of `d`.
+  bool IsParent(NodeId a, NodeId d) const { return nodes_[d].parent == a; }
+
+  /// Concatenated text of the subtree rooted at `id`, in document order,
+  /// with single spaces between fragments. O(subtree).
+  std::string SubtreeText(NodeId id) const;
+
+  /// Returns the children of `id` in document order.
+  std::vector<NodeId> Children(NodeId id) const;
+
+  /// Returns the value of attribute `name` on `id`, or nullptr if absent.
+  const std::string* FindAttribute(NodeId id, TagId name) const;
+
+ private:
+  friend class DocumentBuilder;
+  std::vector<Element> nodes_;
+};
+
+/// Incrementally builds a Document. Usage:
+///   DocumentBuilder b(dict);
+///   b.Open("site"); b.Open("item"); b.Text("hi"); b.Close(); b.Close();
+///   Result<Document> doc = std::move(b).Finish();
+/// Open/Close must nest properly; Finish validates that exactly one root
+/// element was produced and everything was closed.
+class DocumentBuilder {
+ public:
+  /// `dict` must outlive the builder; tags are interned into it.
+  explicit DocumentBuilder(TagDict* dict) : dict_(dict) {}
+
+  DocumentBuilder(const DocumentBuilder&) = delete;
+  DocumentBuilder& operator=(const DocumentBuilder&) = delete;
+
+  /// Opens an element with the given tag name; returns its NodeId.
+  NodeId Open(std::string_view tag);
+
+  /// Adds an attribute to the most recently opened (still open) element.
+  /// Must be called before any child or text is added to it.
+  Status Attr(std::string_view name, std::string_view value);
+
+  /// Appends text content to the innermost open element.
+  Status Text(std::string_view text);
+
+  /// Closes the innermost open element.
+  Status Close();
+
+  /// Depth of currently open elements (0 at start and after the root
+  /// closes).
+  size_t depth() const { return stack_.size(); }
+
+  /// Validates and returns the document. The builder is consumed.
+  Result<Document> Finish() &&;
+
+ private:
+  TagDict* dict_;
+  Document doc_;
+  std::vector<NodeId> stack_;      ///< Open elements, innermost last.
+  std::vector<NodeId> last_child_; ///< Last completed child per open level.
+  uint32_t counter_ = 0;           ///< Dietz interval counter.
+  bool root_done_ = false;
+  Status error_;
+};
+
+}  // namespace flexpath
+
+#endif  // FLEXPATH_XML_DOCUMENT_H_

@@ -1,0 +1,22 @@
+#ifndef FLEXPATH_XML_PARSER_H_
+#define FLEXPATH_XML_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "xml/document.h"
+
+namespace flexpath {
+
+/// Parses `input` (a complete XML document) into a Document, interning tag
+/// names into `dict`. Supported: elements, attributes (both quote styles),
+/// character data, the five predefined entities plus decimal/hex character
+/// references, comments, CDATA sections, processing instructions and an
+/// (ignored) DOCTYPE. Namespaces are not expanded — prefixed names are kept
+/// verbatim, which is sufficient for the corpora this library targets.
+/// Errors carry 1-based line/column positions.
+Result<Document> ParseXml(std::string_view input, TagDict* dict);
+
+}  // namespace flexpath
+
+#endif  // FLEXPATH_XML_PARSER_H_

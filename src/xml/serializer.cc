@@ -1,0 +1,62 @@
+#include "xml/serializer.h"
+
+#include "common/string_util.h"
+
+namespace flexpath {
+
+namespace {
+
+void SerializeNode(const Document& doc, const TagDict& dict, NodeId id,
+                   const SerializeOptions& opts, int depth,
+                   std::string* out) {
+  const Element& e = doc.node(id);
+  auto indent = [&](int d) {
+    if (opts.pretty) {
+      out->append("\n");
+      out->append(static_cast<size_t>(d * opts.indent_width), ' ');
+    }
+  };
+  if (opts.pretty && depth > 0) indent(depth);
+  else if (opts.pretty && depth == 0 && !out->empty()) indent(0);
+
+  *out += '<';
+  *out += dict.Name(e.tag);
+  for (const Attribute& a : e.attrs) {
+    *out += ' ';
+    *out += dict.Name(a.name);
+    *out += "=\"";
+    *out += XmlEscape(a.value);
+    *out += '"';
+  }
+  bool has_children = e.first_child != kInvalidNode;
+  if (!has_children && e.text.empty()) {
+    *out += "/>";
+    return;
+  }
+  *out += '>';
+  if (!e.text.empty()) {
+    if (opts.pretty && has_children) indent(depth + 1);
+    *out += XmlEscape(e.text);
+  }
+  for (NodeId c = e.first_child; c != kInvalidNode;
+       c = doc.node(c).next_sibling) {
+    SerializeNode(doc, dict, c, opts, depth + 1, out);
+  }
+  if (opts.pretty && has_children) indent(depth);
+  *out += "</";
+  *out += dict.Name(e.tag);
+  *out += '>';
+}
+
+}  // namespace
+
+std::string SerializeXml(const Document& doc, const TagDict& dict,
+                         const SerializeOptions& opts) {
+  std::string out;
+  if (doc.empty()) return out;
+  SerializeNode(doc, dict, doc.root(), opts, 0, &out);
+  if (opts.pretty) out += '\n';
+  return out;
+}
+
+}  // namespace flexpath

@@ -1,0 +1,26 @@
+#include "xml/tag_dict.h"
+
+#include <cassert>
+
+namespace flexpath {
+
+TagId TagDict::Intern(std::string_view name) {
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return it->second;
+  TagId id = static_cast<TagId>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+TagId TagDict::Lookup(std::string_view name) const {
+  auto it = ids_.find(std::string(name));
+  return it == ids_.end() ? kInvalidTag : it->second;
+}
+
+const std::string& TagDict::Name(TagId id) const {
+  assert(id < names_.size());
+  return names_[id];
+}
+
+}  // namespace flexpath

@@ -1,0 +1,49 @@
+#ifndef FLEXPATH_XML_TAG_DICT_H_
+#define FLEXPATH_XML_TAG_DICT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace flexpath {
+
+/// Id type for interned tag (element/attribute) names.
+using TagId = uint32_t;
+
+/// Sentinel meaning "no tag" / "any tag" depending on context.
+inline constexpr TagId kInvalidTag = UINT32_MAX;
+
+/// Interns tag and attribute names so documents and indexes store small
+/// integer ids instead of strings. One dictionary is shared by all
+/// documents of a Corpus; ids are stable for the dictionary's lifetime.
+/// Not thread-safe; guard externally if interning from multiple threads.
+class TagDict {
+ public:
+  TagDict() = default;
+  TagDict(const TagDict&) = delete;
+  TagDict& operator=(const TagDict&) = delete;
+  TagDict(TagDict&&) = default;
+  TagDict& operator=(TagDict&&) = default;
+
+  /// Returns the id for `name`, interning it on first use.
+  TagId Intern(std::string_view name);
+
+  /// Returns the id for `name`, or kInvalidTag if it was never interned.
+  TagId Lookup(std::string_view name) const;
+
+  /// Returns the name for `id`. id must be a valid interned id.
+  const std::string& Name(TagId id) const;
+
+  /// Number of distinct interned names.
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, TagId> ids_;
+};
+
+}  // namespace flexpath
+
+#endif  // FLEXPATH_XML_TAG_DICT_H_

@@ -1,0 +1,44 @@
+#include "xml/type_hierarchy.h"
+
+namespace flexpath {
+
+Status TypeHierarchy::AddSubtype(TagId supertype, TagId subtype) {
+  if (supertype == subtype) {
+    return Status::InvalidArgument("a tag cannot be its own supertype");
+  }
+  if (supertype_.count(subtype) > 0) {
+    return Status::InvalidArgument("subtype already has a supertype");
+  }
+  // Reject cycles: supertype must not be a (transitive) subtype of
+  // subtype.
+  if (IsSubtypeOf(supertype, subtype)) {
+    return Status::InvalidArgument("edge would create a cycle");
+  }
+  supertype_[subtype] = supertype;
+  subtypes_[supertype].push_back(subtype);
+  return Status::OK();
+}
+
+TagId TypeHierarchy::SupertypeOf(TagId t) const {
+  auto it = supertype_.find(t);
+  return it == supertype_.end() ? kInvalidTag : it->second;
+}
+
+bool TypeHierarchy::IsSubtypeOf(TagId t, TagId ancestor) const {
+  for (TagId cur = t; cur != kInvalidTag; cur = SupertypeOf(cur)) {
+    if (cur == ancestor) return true;
+  }
+  return false;
+}
+
+std::vector<TagId> TypeHierarchy::SubtypeClosure(TagId t) const {
+  std::vector<TagId> out = {t};
+  for (size_t i = 0; i < out.size(); ++i) {
+    auto it = subtypes_.find(out[i]);
+    if (it == subtypes_.end()) continue;
+    for (TagId sub : it->second) out.push_back(sub);
+  }
+  return out;
+}
+
+}  // namespace flexpath

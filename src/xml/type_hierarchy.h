@@ -1,0 +1,45 @@
+#ifndef FLEXPATH_XML_TYPE_HIERARCHY_H_
+#define FLEXPATH_XML_TYPE_HIERARCHY_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "xml/tag_dict.h"
+
+namespace flexpath {
+
+/// An element-type (tag) hierarchy, enabling the tag-generalization
+/// relaxation of the paper's Section 3.4: with `article` declared a
+/// subtype of `publication`, the constraint $1.tag = article can be
+/// relaxed to $1.tag = publication, and a query node constrained to
+/// `publication` matches articles, books, etc.
+///
+/// The hierarchy is a forest: each tag has at most one direct supertype.
+class TypeHierarchy {
+ public:
+  TypeHierarchy() = default;
+
+  /// Declares `subtype`'s direct supertype. Fails if `subtype` already
+  /// has one, or if the edge would create a cycle.
+  Status AddSubtype(TagId supertype, TagId subtype);
+
+  /// Direct supertype of `t`, or kInvalidTag if none.
+  TagId SupertypeOf(TagId t) const;
+
+  /// True iff `t` equals `ancestor` or is a transitive subtype of it.
+  bool IsSubtypeOf(TagId t, TagId ancestor) const;
+
+  /// `t` plus all transitive subtypes, in unspecified order.
+  std::vector<TagId> SubtypeClosure(TagId t) const;
+
+  bool empty() const { return supertype_.empty(); }
+
+ private:
+  std::unordered_map<TagId, TagId> supertype_;
+  std::unordered_map<TagId, std::vector<TagId>> subtypes_;
+};
+
+}  // namespace flexpath
+
+#endif  // FLEXPATH_XML_TYPE_HIERARCHY_H_

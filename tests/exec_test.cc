@@ -1,0 +1,420 @@
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "exec/evaluator.h"
+#include "exec/naive_evaluator.h"
+#include "exec/plan.h"
+#include "exec/selectivity.h"
+#include "exec/structural_join.h"
+#include "exec/topk.h"
+#include "ir/engine.h"
+#include "query/xpath_parser.h"
+#include "relax/schedule.h"
+#include "stats/document_stats.h"
+#include "stats/element_index.h"
+#include "tests/test_util.h"
+#include "xmark/generator.h"
+
+namespace flexpath {
+namespace {
+
+// --- Structural join ------------------------------------------------------
+
+std::set<std::pair<NodeRef, NodeRef>> PairSet(
+    const std::vector<JoinPair>& pairs) {
+  std::set<std::pair<NodeRef, NodeRef>> out;
+  for (const JoinPair& p : pairs) out.emplace(p.anc, p.desc);
+  return out;
+}
+
+TEST(StructuralJoinTest, SimpleAncestorDescendant) {
+  auto corpus = testing_util::CorpusFromXml(
+      {"<a><b><a><b/></a></b><b/></a>"});
+  ElementIndex index(corpus.get());
+  const TagDict& dict = std::as_const(*corpus).tags();
+  const auto& as = index.Scan(dict.Lookup("a"));
+  const auto& bs = index.Scan(dict.Lookup("b"));
+  ASSERT_EQ(as.size(), 2u);
+  ASSERT_EQ(bs.size(), 3u);
+
+  std::vector<JoinPair> ad = StructuralJoin(*corpus, as, bs, false);
+  // a0 contains b1, b3, b4; a2 contains b3. Total 4 pairs.
+  EXPECT_EQ(ad.size(), 4u);
+  std::vector<JoinPair> pc = StructuralJoin(*corpus, as, bs, true);
+  // parents: a0->b1, a0->b4, a2->b3.
+  EXPECT_EQ(pc.size(), 3u);
+}
+
+TEST(StructuralJoinTest, MatchesNestedLoopOnRandomDocs) {
+  Rng rng(505);
+  for (int iter = 0; iter < 30; ++iter) {
+    Corpus corpus;
+    corpus.Add(testing_util::RandomDocument(&rng, corpus.tags(), 80));
+    corpus.Add(testing_util::RandomDocument(&rng, corpus.tags(), 80));
+    ElementIndex index(&corpus);
+    const TagDict& dict = std::as_const(corpus).tags();
+    for (const char* anc_tag : {"a", "b", "c"}) {
+      for (const char* desc_tag : {"b", "d"}) {
+        const TagId at = dict.Lookup(anc_tag);
+        const TagId dt = dict.Lookup(desc_tag);
+        if (at == kInvalidTag || dt == kInvalidTag) continue;
+        const auto& as = index.Scan(at);
+        const auto& ds = index.Scan(dt);
+        for (bool parent_only : {false, true}) {
+          EXPECT_EQ(
+              PairSet(StructuralJoin(corpus, as, ds, parent_only)),
+              PairSet(NestedLoopJoin(corpus, as, ds, parent_only)))
+              << anc_tag << "/" << desc_tag << " parent=" << parent_only;
+        }
+      }
+    }
+  }
+}
+
+TEST(StructuralJoinTest, EmptyInputs) {
+  auto corpus = testing_util::CorpusFromXml({"<a><b/></a>"});
+  ElementIndex index(corpus.get());
+  std::vector<NodeRef> empty;
+  const auto& as = index.Scan(std::as_const(*corpus).tags().Lookup("a"));
+  EXPECT_TRUE(StructuralJoin(*corpus, empty, as, false).empty());
+  EXPECT_TRUE(StructuralJoin(*corpus, as, empty, false).empty());
+}
+
+TEST(StructuralJoinTest, SameListSelfJoin) {
+  auto corpus = testing_util::CorpusFromXml({"<a><a><a/></a></a>"});
+  ElementIndex index(corpus.get());
+  const auto& as = index.Scan(std::as_const(*corpus).tags().Lookup("a"));
+  std::vector<JoinPair> ad = StructuralJoin(*corpus, as, as, false);
+  EXPECT_EQ(ad.size(), 3u);  // (0,1),(0,2),(1,2)
+  std::vector<JoinPair> pc = StructuralJoin(*corpus, as, as, true);
+  EXPECT_EQ(pc.size(), 2u);
+}
+
+// --- Naive evaluator -------------------------------------------------------
+
+class NaiveEvalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    corpus_ = testing_util::ArticleCorpus();
+    index_ = std::make_unique<ElementIndex>(corpus_.get());
+    ir_ = std::make_unique<IrEngine>(corpus_.get());
+  }
+
+  std::vector<std::string> AnswerIds(const std::vector<NodeRef>& answers) {
+    std::vector<std::string> out;
+    const TagId id_attr = std::as_const(*corpus_).tags().Lookup("id");
+    for (NodeRef ref : answers) {
+      const std::string* v =
+          corpus_->doc(ref.doc).FindAttribute(ref.node, id_attr);
+      out.push_back(v != nullptr ? *v : "?");
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  std::vector<std::string> Eval(const char* xpath) {
+    Result<Tpq> q = ParseXPath(xpath, corpus_->tags());
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    return AnswerIds(NaiveEvaluate(*index_, *q, ir_.get()));
+  }
+
+  std::unique_ptr<Corpus> corpus_;
+  std::unique_ptr<ElementIndex> index_;
+  std::unique_ptr<IrEngine> ir_;
+};
+
+TEST_F(NaiveEvalTest, Figure1AnswerSets) {
+  using V = std::vector<std::string>;
+  // Q1: only a1 matches exactly.
+  EXPECT_EQ(Eval("//article[./section[./algorithm and "
+                 "./paragraph[.contains(\"XML\" and \"streaming\")]]]"),
+            (V{"a1"}));
+  // Q2 admits a2 (keywords in the section, outside paragraphs).
+  EXPECT_EQ(Eval("//article[./section[./algorithm and ./paragraph and "
+                 ".contains(\"XML\" and \"streaming\")]]"),
+            (V{"a1", "a2"}));
+  // Q3 admits a3 (algorithm outside the keyword section).
+  EXPECT_EQ(Eval("//article[.//algorithm and ./section[./paragraph[ "
+                 ".contains(\"XML\" and \"streaming\")]]]"),
+            (V{"a1", "a3"}));
+  // Q4 = Q2 ∪ Q3 shape.
+  EXPECT_EQ(Eval("//article[.//algorithm and ./section[./paragraph and "
+                 ".contains(\"XML\" and \"streaming\")]]"),
+            (V{"a1", "a2", "a3"}));
+  // Q5 drops the algorithm condition; admits a4.
+  EXPECT_EQ(Eval("//article[./section[./paragraph and .contains(\"XML\" "
+                 "and \"streaming\")]]"),
+            (V{"a1", "a2", "a3", "a4"}));
+  // Q6: keywords anywhere; admits a5 (abstract) too.
+  EXPECT_EQ(Eval("//article[.contains(\"XML\" and \"streaming\")]"),
+            (V{"a1", "a2", "a3", "a4", "a5"}));
+}
+
+TEST_F(NaiveEvalTest, AttributePredicateFilters) {
+  using V = std::vector<std::string>;
+  EXPECT_EQ(Eval("//article[@id='a3']"), (V{"a3"}));
+  EXPECT_EQ(Eval("//article[@id='zz']"), (V{}));
+}
+
+TEST_F(NaiveEvalTest, NonRootDistinguished) {
+  Result<Tpq> q = ParseXPath("//article/section/paragraph", corpus_->tags());
+  ASSERT_TRUE(q.ok());
+  std::vector<NodeRef> answers = NaiveEvaluate(*index_, *q, ir_.get());
+  const TagId para = std::as_const(*corpus_).tags().Lookup("paragraph");
+  EXPECT_EQ(answers.size(), 6u);
+  for (NodeRef ref : answers) {
+    EXPECT_EQ(corpus_->node(ref).tag, para);
+  }
+}
+
+TEST_F(NaiveEvalTest, WildcardRoot) {
+  Result<Tpq> q = ParseXPath("//*[./algorithm]", corpus_->tags());
+  ASSERT_TRUE(q.ok());
+  std::vector<NodeRef> answers = NaiveEvaluate(*index_, *q, ir_.get());
+  // Parents of algorithms: the sections of a1, a2, a6 and a3's appendix.
+  EXPECT_EQ(answers.size(), 4u);
+}
+
+// --- Plan evaluation == naive evaluation (exact mode) ----------------------
+
+class PlanVsNaiveTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    corpus_ = testing_util::ArticleCorpus();
+    index_ = std::make_unique<ElementIndex>(corpus_.get());
+    stats_ = std::make_unique<DocumentStats>(corpus_.get());
+    ir_ = std::make_unique<IrEngine>(corpus_.get());
+  }
+
+  void ExpectPlanMatchesNaive(const char* xpath) {
+    Result<Tpq> q = ParseXPath(xpath, corpus_->tags());
+    ASSERT_TRUE(q.ok()) << q.status().ToString();
+    std::vector<NodeRef> expected = NaiveEvaluate(*index_, *q, ir_.get());
+
+    PenaltyModel pm(*q, stats_.get(), ir_.get(), Weights{});
+    Result<JoinPlan> plan = JoinPlan::Build(*q, *q, {}, pm, Weights{});
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    PlanEvaluator evaluator(index_.get(), ir_.get());
+    std::vector<RankedAnswer> got = evaluator.Evaluate(
+        *plan, EvalMode::kExact, 0, RankScheme::kStructureFirst, 0.0,
+        nullptr);
+    std::vector<NodeRef> got_nodes;
+    for (const RankedAnswer& a : got) got_nodes.push_back(a.node);
+    std::sort(got_nodes.begin(), got_nodes.end());
+    EXPECT_EQ(got_nodes, expected) << xpath;
+  }
+
+  std::unique_ptr<Corpus> corpus_;
+  std::unique_ptr<ElementIndex> index_;
+  std::unique_ptr<DocumentStats> stats_;
+  std::unique_ptr<IrEngine> ir_;
+};
+
+TEST_F(PlanVsNaiveTest, Figure1Queries) {
+  ExpectPlanMatchesNaive(
+      "//article[./section[./algorithm and ./paragraph[.contains(\"XML\" "
+      "and \"streaming\")]]]");
+  ExpectPlanMatchesNaive(
+      "//article[.//algorithm and ./section[./paragraph and "
+      ".contains(\"XML\" and \"streaming\")]]");
+  ExpectPlanMatchesNaive("//article[.contains(\"XML\" and \"streaming\")]");
+  ExpectPlanMatchesNaive("//article[./section/paragraph]");
+  ExpectPlanMatchesNaive("//article[@id='a2' and ./section]");
+}
+
+TEST_F(PlanVsNaiveTest, NonRootDistinguishedPlan) {
+  ExpectPlanMatchesNaive("//article/section/paragraph");
+  ExpectPlanMatchesNaive("//article[.//algorithm]/section");
+}
+
+TEST(PlanVsNaivePropertyTest, RandomQueriesOnXMark) {
+  // Exact plan evaluation must agree with the oracle on a real-ish
+  // document for a battery of hand-rolled pattern shapes.
+  TagDict* dict;
+  Corpus corpus;
+  dict = corpus.tags();
+  XMarkOptions opts;
+  opts.target_bytes = 150000;
+  opts.seed = 11;
+  Result<Document> doc = GenerateXMark(opts, dict);
+  ASSERT_TRUE(doc.ok());
+  corpus.Add(std::move(doc).value());
+  ElementIndex index(&corpus);
+  DocumentStats stats(&corpus);
+  IrEngine ir(&corpus);
+  PlanEvaluator evaluator(&index, &ir);
+
+  const char* queries[] = {
+      "//item[./description/parlist]",
+      "//item[./description//parlist]",
+      "//item[./description/parlist and ./mailbox/mail/text]",
+      "//item[./mailbox/mail/text[./bold and ./keyword and ./emph]]",
+      "//item[./name and ./incategory]",
+      "//listitem[./parlist]",
+      "//mail[./text[./bold]]",
+      "//item[./description/parlist/listitem and ./mailbox/mail/text[./bold "
+      "and ./keyword and ./emph] and ./name and ./incategory]",
+      "//open_auction[./annotation/description and ./bidder]",
+      "//item[.contains(\"gold\")]",
+      "//item[./description[.contains(\"gold\" or \"silver\")]]",
+  };
+  for (const char* xpath : queries) {
+    Result<Tpq> q = ParseXPath(xpath, corpus.tags());
+    ASSERT_TRUE(q.ok()) << xpath;
+    std::vector<NodeRef> expected = NaiveEvaluate(index, *q, &ir);
+    PenaltyModel pm(*q, &stats, &ir, Weights{});
+    Result<JoinPlan> plan = JoinPlan::Build(*q, *q, {}, pm, Weights{});
+    ASSERT_TRUE(plan.ok()) << xpath;
+    std::vector<RankedAnswer> got = evaluator.Evaluate(
+        *plan, EvalMode::kExact, 0, RankScheme::kStructureFirst, 0.0,
+        nullptr);
+    std::vector<NodeRef> got_nodes;
+    for (const RankedAnswer& a : got) got_nodes.push_back(a.node);
+    std::sort(got_nodes.begin(), got_nodes.end());
+    EXPECT_EQ(got_nodes, expected) << xpath;
+  }
+}
+
+// --- Relaxed plan evaluation vs relaxation-union oracle ---------------------
+
+TEST_F(PlanVsNaiveTest, EncodedRelaxationsMatchScheduleUnion) {
+  // Evaluating a plan with relaxations encoded must return exactly the
+  // union of the chain queries' exact answers, and each answer's
+  // structural score must equal base − penalty(violated drop set),
+  // maximized over the chain queries admitting it.
+  Result<Tpq> qr = ParseXPath(
+      "//article[./section[./algorithm and ./paragraph[.contains(\"XML\" "
+      "and \"streaming\")]]]",
+      corpus_->tags());
+  ASSERT_TRUE(qr.ok());
+  Tpq q = *std::move(qr);
+  PenaltyModel pm(q, stats_.get(), ir_.get(), Weights{});
+  std::vector<ScheduleEntry> schedule = BuildSchedule(q, pm);
+  ASSERT_FALSE(schedule.empty());
+  PlanEvaluator evaluator(index_.get(), ir_.get());
+  const double base = BaseStructuralScore(q, Weights{});
+
+  for (size_t depth = 1; depth <= schedule.size(); ++depth) {
+    const ScheduleEntry& entry = schedule[depth - 1];
+    Result<JoinPlan> plan =
+        JoinPlan::Build(q, entry.relaxed, entry.dropped, pm, Weights{});
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    std::vector<RankedAnswer> got = evaluator.Evaluate(
+        *plan, EvalMode::kSsoFlat, 0, RankScheme::kStructureFirst, 0.0,
+        nullptr);
+
+    // Union oracle: answers of the most relaxed chain query.
+    std::vector<NodeRef> expected =
+        NaiveEvaluate(*index_, entry.relaxed, ir_.get());
+    std::vector<NodeRef> got_nodes;
+    for (const RankedAnswer& a : got) got_nodes.push_back(a.node);
+    std::sort(got_nodes.begin(), got_nodes.end());
+    EXPECT_EQ(got_nodes, expected) << "depth " << depth;
+
+    // Scores: answers of the *original* query keep the full base score;
+    // all scores lie in [base − cumulative_penalty, base].
+    std::vector<NodeRef> original = NaiveEvaluate(*index_, q, ir_.get());
+    for (const RankedAnswer& a : got) {
+      EXPECT_LE(a.score.ss, base + 1e-9);
+      EXPECT_GE(a.score.ss, base - entry.cumulative_penalty - 1e-9);
+      if (std::binary_search(original.begin(), original.end(), a.node)) {
+        EXPECT_NEAR(a.score.ss, base, 1e-9)
+            << "exact answers must not be penalized";
+      } else {
+        EXPECT_LT(a.score.ss, base);
+      }
+    }
+  }
+}
+
+TEST_F(PlanVsNaiveTest, HybridBucketsAgreeWithSsoFlat) {
+  Result<Tpq> qr = ParseXPath(
+      "//article[./section[./algorithm and ./paragraph[.contains(\"XML\" "
+      "and \"streaming\")]]]",
+      corpus_->tags());
+  ASSERT_TRUE(qr.ok());
+  Tpq q = *std::move(qr);
+  PenaltyModel pm(q, stats_.get(), ir_.get(), Weights{});
+  std::vector<ScheduleEntry> schedule = BuildSchedule(q, pm);
+  PlanEvaluator evaluator(index_.get(), ir_.get());
+
+  for (size_t depth = 1; depth <= schedule.size(); ++depth) {
+    const ScheduleEntry& entry = schedule[depth - 1];
+    Result<JoinPlan> plan =
+        JoinPlan::Build(q, entry.relaxed, entry.dropped, pm, Weights{});
+    ASSERT_TRUE(plan.ok());
+    std::vector<RankedAnswer> flat = evaluator.Evaluate(
+        *plan, EvalMode::kSsoFlat, 0, RankScheme::kStructureFirst, 0.0,
+        nullptr);
+    std::vector<RankedAnswer> buckets = evaluator.Evaluate(
+        *plan, EvalMode::kHybridBuckets, 0, RankScheme::kStructureFirst,
+        0.0, nullptr);
+    ASSERT_EQ(flat.size(), buckets.size()) << "depth " << depth;
+    for (size_t i = 0; i < flat.size(); ++i) {
+      EXPECT_EQ(flat[i].node, buckets[i].node);
+      EXPECT_NEAR(flat[i].score.ss, buckets[i].score.ss, 1e-9);
+      EXPECT_NEAR(flat[i].score.ks, buckets[i].score.ks, 1e-9);
+    }
+  }
+}
+
+// --- Selectivity estimator --------------------------------------------------
+
+TEST(SelectivityTest, ExactForSingleTag) {
+  auto corpus = testing_util::ArticleCorpus();
+  DocumentStats stats(corpus.get());
+  SelectivityEstimator est(&stats, nullptr);
+  Result<Tpq> q = ParseXPath("//article", corpus->tags());
+  ASSERT_TRUE(q.ok());
+  EXPECT_DOUBLE_EQ(est.EstimateAnswers(*q), 6.0);
+}
+
+TEST(SelectivityTest, EdgeFractionsReduceEstimate) {
+  auto corpus = testing_util::ArticleCorpus();
+  DocumentStats stats(corpus.get());
+  SelectivityEstimator est(&stats, nullptr);
+  Result<Tpq> all = ParseXPath("//article", corpus->tags());
+  Result<Tpq> some = ParseXPath("//article[.//algorithm]", corpus->tags());
+  ASSERT_TRUE(all.ok());
+  ASSERT_TRUE(some.ok());
+  EXPECT_LT(est.EstimateAnswers(*some), est.EstimateAnswers(*all));
+  // 4 of 6 articles (a1, a2, a3, a6) have an algorithm descendant.
+  EXPECT_NEAR(est.EstimateAnswers(*some), 4.0, 1e-9);
+}
+
+TEST(SelectivityTest, EstimatesAreFiniteAndNonNegative) {
+  // The uniform-independence estimate need not be monotone under
+  // relaxation (true answer counts are; the independence approximation
+  // is not) — SSO's restart loop covers under-estimates. We check the
+  // estimates stay sane along the whole relaxation chain.
+  Corpus corpus;
+  XMarkOptions gopts;
+  gopts.target_bytes = 120000;
+  gopts.seed = 3;
+  Result<Document> doc = GenerateXMark(gopts, corpus.tags());
+  ASSERT_TRUE(doc.ok());
+  corpus.Add(std::move(doc).value());
+  DocumentStats stats(&corpus);
+  IrEngine ir(&corpus);
+  SelectivityEstimator est(&stats, &ir);
+  Result<Tpq> q = ParseXPath(
+      "//item[./description/parlist and ./mailbox/mail/text]",
+      corpus.tags());
+  ASSERT_TRUE(q.ok());
+  PenaltyModel pm(*q, &stats, &ir, Weights{});
+  const double total_items =
+      static_cast<double>(stats.TagCount(corpus.tags()->Intern("item")));
+  EXPECT_GT(est.EstimateAnswers(*q), 0.0);
+  for (const ScheduleEntry& e : BuildSchedule(*q, pm)) {
+    const double cur = est.EstimateAnswers(e.relaxed);
+    EXPECT_GE(cur, 0.0) << e.op.ToString();
+    EXPECT_LE(cur, total_items + 1e-9) << e.op.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace flexpath

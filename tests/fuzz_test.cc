@@ -1,0 +1,108 @@
+// Robustness fuzzing (deterministic): random and mutated inputs must
+// never crash the parsers — they either parse or return a ParseError.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "ir/ft_expr.h"
+#include "query/xpath_parser.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace flexpath {
+namespace {
+
+std::string RandomBytes(Rng* rng, size_t max_len) {
+  std::string out;
+  const size_t len = rng->Uniform(max_len);
+  for (size_t i = 0; i < len; ++i) {
+    out += static_cast<char>(rng->Uniform(256));
+  }
+  return out;
+}
+
+std::string Mutate(std::string s, Rng* rng) {
+  if (s.empty()) return s;
+  const int edits = 1 + static_cast<int>(rng->Uniform(4));
+  for (int i = 0; i < edits; ++i) {
+    const size_t pos = rng->Uniform(s.size());
+    switch (rng->Uniform(3)) {
+      case 0:
+        s[pos] = static_cast<char>(rng->Uniform(256));
+        break;
+      case 1:
+        s.erase(pos, 1);
+        break;
+      default:
+        s.insert(pos, 1, static_cast<char>(rng->Uniform(128)));
+        break;
+    }
+    if (s.empty()) break;
+  }
+  return s;
+}
+
+TEST(FuzzTest, XmlParserSurvivesRandomBytes) {
+  Rng rng(1001);
+  TagDict dict;
+  for (int i = 0; i < 500; ++i) {
+    Result<Document> doc = ParseXml(RandomBytes(&rng, 200), &dict);
+    if (doc.ok()) {
+      EXPECT_GT(doc->size(), 0u);
+    }
+  }
+}
+
+TEST(FuzzTest, XmlParserSurvivesMutatedDocuments) {
+  Rng rng(1002);
+  const std::string seed =
+      "<?xml version=\"1.0\"?><site><item id=\"i1\"><name>gold "
+      "ring</name><desc>rare &amp; fine <b>x</b></desc></item>"
+      "<!-- c --><![CDATA[raw]]></site>";
+  TagDict dict;
+  for (int i = 0; i < 500; ++i) {
+    Result<Document> doc = ParseXml(Mutate(seed, &rng), &dict);
+    if (doc.ok()) {
+      // Whatever parsed must serialize and re-parse.
+      std::string xml = SerializeXml(*doc, dict);
+      EXPECT_TRUE(ParseXml(xml, &dict).ok());
+    }
+  }
+}
+
+TEST(FuzzTest, XPathParserSurvivesRandomInput) {
+  Rng rng(1003);
+  const std::string seed =
+      "//article[./section[./algorithm and ./paragraph[.contains(\"XML\" "
+      "and \"streaming\")]] and @id='a1']";
+  for (int i = 0; i < 500; ++i) {
+    TagDict dict;
+    Result<Tpq> q = ParseXPath(Mutate(seed, &rng), &dict);
+    if (q.ok()) {
+      EXPECT_TRUE(q->Validate().ok());
+    }
+  }
+  for (int i = 0; i < 300; ++i) {
+    TagDict dict;
+    (void)ParseXPath(RandomBytes(&rng, 100), &dict);
+  }
+}
+
+TEST(FuzzTest, FtExprParserSurvivesRandomInput) {
+  Rng rng(1004);
+  const std::string seed =
+      "(\"gold\" and not silver) or near(\"fast\" \"car\", 5)";
+  for (int i = 0; i < 500; ++i) {
+    Result<FtExpr> e = ParseFtExpr(Mutate(seed, &rng));
+    if (e.ok()) {
+      // Canonical text of a parsed expression re-parses to an equal tree.
+      Result<FtExpr> again = ParseFtExpr(e->ToString());
+      ASSERT_TRUE(again.ok()) << e->ToString();
+      EXPECT_TRUE(*e == *again) << e->ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace flexpath

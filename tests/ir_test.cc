@@ -1,0 +1,352 @@
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ir/engine.h"
+#include "ir/ft_expr.h"
+#include "ir/inverted_index.h"
+#include "ir/stemmer.h"
+#include "ir/tokenizer.h"
+#include "tests/test_util.h"
+
+namespace flexpath {
+namespace {
+
+// --- Porter stemmer ------------------------------------------------------
+
+struct StemCase {
+  const char* in;
+  const char* out;
+};
+
+class StemmerTest : public ::testing::TestWithParam<StemCase> {};
+
+TEST_P(StemmerTest, MatchesReference) {
+  EXPECT_EQ(PorterStem(GetParam().in), GetParam().out)
+      << "input: " << GetParam().in;
+}
+
+// Expected outputs from the reference Porter implementation.
+INSTANTIATE_TEST_SUITE_P(
+    ReferencePairs, StemmerTest,
+    ::testing::Values(
+        StemCase{"caresses", "caress"}, StemCase{"ponies", "poni"},
+        StemCase{"ties", "ti"}, StemCase{"caress", "caress"},
+        StemCase{"cats", "cat"}, StemCase{"feed", "feed"},
+        StemCase{"agreed", "agre"}, StemCase{"plastered", "plaster"},
+        StemCase{"bled", "bled"}, StemCase{"motoring", "motor"},
+        StemCase{"sing", "sing"}, StemCase{"conflated", "conflat"},
+        StemCase{"troubled", "troubl"}, StemCase{"sized", "size"},
+        StemCase{"hopping", "hop"}, StemCase{"tanned", "tan"},
+        StemCase{"falling", "fall"}, StemCase{"hissing", "hiss"},
+        StemCase{"fizzed", "fizz"}, StemCase{"failing", "fail"},
+        StemCase{"filing", "file"}, StemCase{"happy", "happi"},
+        StemCase{"sky", "sky"}, StemCase{"relational", "relat"},
+        StemCase{"conditional", "condit"}, StemCase{"rational", "ration"},
+        StemCase{"valenci", "valenc"}, StemCase{"hesitanci", "hesit"},
+        StemCase{"digitizer", "digit"}, StemCase{"conformabli", "conform"},
+        StemCase{"radicalli", "radic"}, StemCase{"differentli", "differ"},
+        StemCase{"vileli", "vile"}, StemCase{"analogousli", "analog"},
+        StemCase{"vietnamization", "vietnam"},
+        StemCase{"predication", "predic"}, StemCase{"operator", "oper"},
+        StemCase{"feudalism", "feudal"}, StemCase{"decisiveness", "decis"},
+        StemCase{"hopefulness", "hope"}, StemCase{"callousness", "callous"},
+        StemCase{"formaliti", "formal"}, StemCase{"sensitiviti", "sensit"},
+        StemCase{"sensibiliti", "sensibl"}, StemCase{"triplicate", "triplic"},
+        StemCase{"formative", "form"}, StemCase{"formalize", "formal"},
+        StemCase{"electriciti", "electr"}, StemCase{"electrical", "electr"},
+        StemCase{"hopeful", "hope"}, StemCase{"goodness", "good"},
+        StemCase{"revival", "reviv"}, StemCase{"allowance", "allow"},
+        StemCase{"inference", "infer"}, StemCase{"airliner", "airlin"},
+        StemCase{"gyroscopic", "gyroscop"}, StemCase{"adjustable", "adjust"},
+        StemCase{"defensible", "defens"}, StemCase{"irritant", "irrit"},
+        StemCase{"replacement", "replac"}, StemCase{"adjustment", "adjust"},
+        StemCase{"dependent", "depend"}, StemCase{"adoption", "adopt"},
+        StemCase{"homologou", "homolog"}, StemCase{"communism", "commun"},
+        StemCase{"activate", "activ"}, StemCase{"angulariti", "angular"},
+        StemCase{"homologous", "homolog"}, StemCase{"effective", "effect"},
+        StemCase{"bowdlerize", "bowdler"}, StemCase{"probate", "probat"},
+        StemCase{"rate", "rate"}, StemCase{"cease", "ceas"},
+        StemCase{"controll", "control"}, StemCase{"roll", "roll"},
+        StemCase{"streaming", "stream"}, StemCase{"xml", "xml"},
+        StemCase{"algorithms", "algorithm"}, StemCase{"queries", "queri"},
+        StemCase{"a", "a"}, StemCase{"is", "is"}, StemCase{"be", "be"}));
+
+// --- Tokenizer -----------------------------------------------------------
+
+TEST(TokenizerTest, LowercasesAndSplits) {
+  TokenizerOptions opts;
+  opts.stem = false;
+  opts.drop_stopwords = false;
+  std::vector<std::string> tokens =
+      Tokenize("Hello, World! x2", opts);
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "hello");
+  EXPECT_EQ(tokens[1], "world");
+  EXPECT_EQ(tokens[2], "x2");
+}
+
+TEST(TokenizerTest, DropsStopwords) {
+  TokenizerOptions opts;
+  opts.stem = false;
+  std::vector<std::string> tokens = Tokenize("the cat and the hat", opts);
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "cat");
+  EXPECT_EQ(tokens[1], "hat");
+}
+
+TEST(TokenizerTest, StemsWhenEnabled) {
+  std::vector<std::string> tokens = Tokenize("streaming algorithms");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "stream");
+  EXPECT_EQ(tokens[1], "algorithm");
+}
+
+TEST(TokenizerTest, EmptyInput) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("  ,.;  ").empty());
+}
+
+TEST(TokenizerTest, NormalizeTermMatchesTokenizer) {
+  EXPECT_EQ(NormalizeTerm("Streaming"), "stream");
+  EXPECT_EQ(NormalizeTerm("THE"), "");  // stopword
+}
+
+// --- FtExpr --------------------------------------------------------------
+
+TEST(FtExprTest, ParsesConjunction) {
+  Result<FtExpr> e = ParseFtExpr("\"XML\" and \"streaming\"");
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  EXPECT_EQ(e->kind(), FtKind::kAnd);
+  EXPECT_EQ(e->children()[0].term(), "xml");
+  EXPECT_EQ(e->children()[1].term(), "stream");
+}
+
+TEST(FtExprTest, ParsesPrecedenceAndParens) {
+  Result<FtExpr> e = ParseFtExpr("a and b or c");
+  ASSERT_TRUE(e.ok());
+  // 'and' binds tighter: (a and b) or c.
+  EXPECT_EQ(e->kind(), FtKind::kOr);
+  EXPECT_EQ(e->children()[0].kind(), FtKind::kAnd);
+
+  Result<FtExpr> f = ParseFtExpr("a and (b or c)");
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->kind(), FtKind::kAnd);
+  EXPECT_EQ(f->children()[1].kind(), FtKind::kOr);
+}
+
+TEST(FtExprTest, ParsesNot) {
+  Result<FtExpr> e = ParseFtExpr("not \"gold\"");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e->kind(), FtKind::kNot);
+  EXPECT_EQ(e->children()[0].term(), "gold");
+}
+
+TEST(FtExprTest, MultiwordQuotedIsPhrase) {
+  Result<FtExpr> e = ParseFtExpr("\"gold ring\"");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e->kind(), FtKind::kPhrase);
+  ASSERT_EQ(e->phrase().size(), 2u);
+  EXPECT_EQ(e->phrase()[0], "gold");
+  EXPECT_EQ(e->phrase()[1], "ring");
+}
+
+TEST(FtExprTest, CanonicalToStringStable) {
+  Result<FtExpr> a = ParseFtExpr("\"XML\"   and   \"streaming\"");
+  Result<FtExpr> b = ParseFtExpr("xml and Streaming");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->ToString(), b->ToString());
+  EXPECT_TRUE(*a == *b);
+}
+
+TEST(FtExprTest, RejectsMalformed) {
+  EXPECT_FALSE(ParseFtExpr("").ok());
+  EXPECT_FALSE(ParseFtExpr("\"unterminated").ok());
+  EXPECT_FALSE(ParseFtExpr("(a and b").ok());
+  EXPECT_FALSE(ParseFtExpr("a and").ok());
+  EXPECT_FALSE(ParseFtExpr("a ) b").ok());
+}
+
+TEST(FtExprTest, PositiveTermsSkipNegated) {
+  Result<FtExpr> e = ParseFtExpr("gold and not silver");
+  ASSERT_TRUE(e.ok());
+  std::vector<std::string> terms = e->PositiveTerms();
+  ASSERT_EQ(terms.size(), 1u);
+  EXPECT_EQ(terms[0], "gold");
+}
+
+// --- Inverted index + engine --------------------------------------------
+
+class IrEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    corpus_ = testing_util::CorpusFromXml({
+        R"(<doc><sec><para>gold ring with gold band</para>
+             <para>silver ring</para></sec>
+             <sec><para>iron gate</para></sec></doc>)",
+        R"(<doc><sec><para>gold coin</para></sec></doc>)",
+    });
+    engine_ = std::make_unique<IrEngine>(corpus_.get());
+  }
+
+  NodeRef Ref(DocId d, NodeId n) { return NodeRef{d, n}; }
+
+  std::unique_ptr<Corpus> corpus_;
+  std::unique_ptr<IrEngine> engine_;
+};
+
+TEST_F(IrEngineTest, IndexFindsTerms) {
+  const InvertedIndex& idx = engine_->index();
+  ASSERT_NE(idx.Find("gold"), nullptr);
+  ASSERT_NE(idx.Find("silver"), nullptr);
+  EXPECT_EQ(idx.Find("zeppelin"), nullptr);
+  // "gold" occurs directly in three paragraphs (doc0 para1, doc1 para).
+  EXPECT_EQ(idx.Find("gold")->postings.size(), 2u);
+  EXPECT_EQ(idx.Find("gold")->postings[0].tf, 2u);
+}
+
+TEST_F(IrEngineTest, SubtreeTermFrequency) {
+  const InvertedIndex& idx = engine_->index();
+  // doc 0: node 0=doc, 1=sec, 2=para(gold x2), 3=para(silver), 4=sec,
+  // 5=para(iron).
+  EXPECT_EQ(idx.SubtreeTermFrequency("gold", Ref(0, 0)), 2u);
+  EXPECT_EQ(idx.SubtreeTermFrequency("gold", Ref(0, 2)), 2u);
+  EXPECT_EQ(idx.SubtreeTermFrequency("gold", Ref(0, 4)), 0u);
+  EXPECT_EQ(idx.SubtreeTermFrequency("ring", Ref(0, 1)), 2u);
+}
+
+TEST_F(IrEngineTest, SatisfyingSetIsAncestorClosed) {
+  Result<FtExpr> e = ParseFtExpr("gold");
+  ASSERT_TRUE(e.ok());
+  const ContainsResult* r = engine_->Evaluate(*e);
+  // doc0: para(2) + its ancestors sec(1), doc(0); doc1: para(2), sec(1),
+  // doc(0).
+  EXPECT_TRUE(r->Satisfies(Ref(0, 0)));
+  EXPECT_TRUE(r->Satisfies(Ref(0, 1)));
+  EXPECT_TRUE(r->Satisfies(Ref(0, 2)));
+  EXPECT_FALSE(r->Satisfies(Ref(0, 3)));
+  EXPECT_FALSE(r->Satisfies(Ref(0, 4)));
+  EXPECT_TRUE(r->Satisfies(Ref(1, 0)));
+}
+
+TEST_F(IrEngineTest, MostSpecificAreDeepest) {
+  Result<FtExpr> e = ParseFtExpr("gold");
+  ASSERT_TRUE(e.ok());
+  const ContainsResult* r = engine_->Evaluate(*e);
+  ASSERT_EQ(r->most_specific().size(), 2u);
+  EXPECT_EQ(r->most_specific()[0].node, Ref(0, 2));
+  EXPECT_EQ(r->most_specific()[1].node, Ref(1, 2));
+}
+
+TEST_F(IrEngineTest, ScoresNormalizedAndOrdered) {
+  Result<FtExpr> e = ParseFtExpr("gold");
+  ASSERT_TRUE(e.ok());
+  const ContainsResult* r = engine_->Evaluate(*e);
+  double best = 0;
+  for (const ScoredNode& s : r->most_specific()) {
+    EXPECT_GE(s.score, 0.0);
+    EXPECT_LE(s.score, 1.0);
+    best = std::max(best, s.score);
+  }
+  EXPECT_DOUBLE_EQ(best, 1.0);
+  // tf=2 beats tf=1.
+  EXPECT_GT(r->most_specific()[0].score, r->most_specific()[1].score);
+}
+
+TEST_F(IrEngineTest, AndSemantics) {
+  Result<FtExpr> e = ParseFtExpr("gold and silver");
+  ASSERT_TRUE(e.ok());
+  const ContainsResult* r = engine_->Evaluate(*e);
+  // Only doc0's first sec (and doc0 root) contain both.
+  EXPECT_TRUE(r->Satisfies(Ref(0, 1)));
+  EXPECT_TRUE(r->Satisfies(Ref(0, 0)));
+  EXPECT_FALSE(r->Satisfies(Ref(0, 2)));
+  EXPECT_FALSE(r->Satisfies(Ref(1, 0)));
+}
+
+TEST_F(IrEngineTest, OrSemantics) {
+  Result<FtExpr> e = ParseFtExpr("silver or iron");
+  ASSERT_TRUE(e.ok());
+  const ContainsResult* r = engine_->Evaluate(*e);
+  EXPECT_TRUE(r->Satisfies(Ref(0, 3)));
+  EXPECT_TRUE(r->Satisfies(Ref(0, 5)));
+  EXPECT_FALSE(r->Satisfies(Ref(1, 2)));
+}
+
+TEST_F(IrEngineTest, NotSemantics) {
+  Result<FtExpr> e = ParseFtExpr("gold and not silver");
+  ASSERT_TRUE(e.ok());
+  const ContainsResult* r = engine_->Evaluate(*e);
+  // doc0 root contains silver -> excluded; doc0 para(2) qualifies.
+  EXPECT_FALSE(r->Satisfies(Ref(0, 0)));
+  EXPECT_TRUE(r->Satisfies(Ref(0, 2)));
+  EXPECT_TRUE(r->Satisfies(Ref(1, 0)));
+}
+
+TEST_F(IrEngineTest, PhraseSemantics) {
+  Result<FtExpr> e = ParseFtExpr("\"gold ring\"");
+  ASSERT_TRUE(e.ok());
+  const ContainsResult* r = engine_->Evaluate(*e);
+  EXPECT_TRUE(r->Satisfies(Ref(0, 2)));
+  EXPECT_FALSE(r->Satisfies(Ref(0, 3)));  // "silver ring"
+  EXPECT_FALSE(r->Satisfies(Ref(1, 2)));  // "gold coin"
+  // "gold band" is not consecutive in "gold ring with gold band"? It is:
+  // positions ... actually "gold band" IS consecutive (gold@3, band@4).
+  Result<FtExpr> e2 = ParseFtExpr("\"gold band\"");
+  ASSERT_TRUE(e2.ok());
+  EXPECT_TRUE(engine_->Evaluate(*e2)->Satisfies(Ref(0, 2)));
+  Result<FtExpr> e3 = ParseFtExpr("\"ring gold\"");
+  ASSERT_TRUE(e3.ok());
+  EXPECT_FALSE(engine_->Evaluate(*e3)->Satisfies(Ref(0, 2)));
+}
+
+TEST_F(IrEngineTest, BestScoreWithin) {
+  Result<FtExpr> e = ParseFtExpr("gold");
+  ASSERT_TRUE(e.ok());
+  const ContainsResult* r = engine_->Evaluate(*e);
+  EXPECT_DOUBLE_EQ(r->BestScoreWithin(Ref(0, 0)), 1.0);
+  EXPECT_DOUBLE_EQ(r->BestScoreWithin(Ref(0, 4)), 0.0);
+  EXPECT_GT(r->BestScoreWithin(Ref(1, 0)), 0.0);
+  EXPECT_LT(r->BestScoreWithin(Ref(1, 0)), 1.0);
+}
+
+TEST_F(IrEngineTest, CountWithTag) {
+  Result<FtExpr> e = ParseFtExpr("gold");
+  ASSERT_TRUE(e.ok());
+  const ContainsResult* r = engine_->Evaluate(*e);
+  const TagDict& dict = std::as_const(*corpus_).tags();
+  EXPECT_EQ(r->CountWithTag(dict.Lookup("para")), 2u);
+  EXPECT_EQ(r->CountWithTag(dict.Lookup("sec")), 2u);
+  EXPECT_EQ(r->CountWithTag(dict.Lookup("doc")), 2u);
+}
+
+TEST_F(IrEngineTest, EvaluationIsCached) {
+  Result<FtExpr> e1 = ParseFtExpr("gold");
+  Result<FtExpr> e2 = ParseFtExpr("GOLD");
+  ASSERT_TRUE(e1.ok());
+  ASSERT_TRUE(e2.ok());
+  EXPECT_EQ(engine_->Evaluate(*e1), engine_->Evaluate(*e2));
+}
+
+TEST_F(IrEngineTest, UnknownTermMatchesNothing) {
+  Result<FtExpr> e = ParseFtExpr("zeppelin");
+  ASSERT_TRUE(e.ok());
+  const ContainsResult* r = engine_->Evaluate(*e);
+  EXPECT_TRUE(r->satisfying().empty());
+  EXPECT_TRUE(r->most_specific().empty());
+  EXPECT_DOUBLE_EQ(r->BestScoreWithin(Ref(0, 0)), 0.0);
+}
+
+TEST_F(IrEngineTest, StemmedQueryMatchesInflectedText) {
+  std::unique_ptr<Corpus> corpus = testing_util::CorpusFromXml(
+      {"<d><p>streaming algorithms for queries</p></d>"});
+  IrEngine engine(corpus.get());
+  Result<FtExpr> e = ParseFtExpr("\"stream\" and \"algorithm\" and query");
+  ASSERT_TRUE(e.ok());
+  EXPECT_TRUE(engine.Evaluate(*e)->Satisfies(NodeRef{0, 0}));
+}
+
+}  // namespace
+}  // namespace flexpath

@@ -1,0 +1,278 @@
+#include <string>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "tests/test_util.h"
+#include "xml/corpus.h"
+#include "xml/document.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+#include "xml/tag_dict.h"
+
+namespace flexpath {
+namespace {
+
+TEST(TagDictTest, InternIsIdempotent) {
+  TagDict dict;
+  TagId a = dict.Intern("article");
+  TagId b = dict.Intern("section");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(dict.Intern("article"), a);
+  EXPECT_EQ(dict.Name(a), "article");
+  EXPECT_EQ(dict.size(), 2u);
+}
+
+TEST(TagDictTest, LookupMissingReturnsInvalid) {
+  TagDict dict;
+  EXPECT_EQ(dict.Lookup("nope"), kInvalidTag);
+  dict.Intern("yes");
+  EXPECT_NE(dict.Lookup("yes"), kInvalidTag);
+}
+
+TEST(DocumentBuilderTest, BuildsIntervalEncoding) {
+  TagDict dict;
+  DocumentBuilder b(&dict);
+  b.Open("root");        // 0
+  b.Open("child");       // 1
+  b.Open("grandchild");  // 2
+  ASSERT_TRUE(b.Close().ok());
+  ASSERT_TRUE(b.Close().ok());
+  b.Open("child2");  // 3
+  ASSERT_TRUE(b.Close().ok());
+  ASSERT_TRUE(b.Close().ok());
+  Result<Document> doc = std::move(b).Finish();
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->size(), 4u);
+
+  EXPECT_TRUE(doc->IsAncestor(0, 1));
+  EXPECT_TRUE(doc->IsAncestor(0, 2));
+  EXPECT_TRUE(doc->IsAncestor(1, 2));
+  EXPECT_TRUE(doc->IsAncestor(0, 3));
+  EXPECT_FALSE(doc->IsAncestor(1, 3));
+  EXPECT_FALSE(doc->IsAncestor(2, 1));
+  EXPECT_FALSE(doc->IsAncestor(1, 1));
+
+  EXPECT_TRUE(doc->IsParent(0, 1));
+  EXPECT_FALSE(doc->IsParent(0, 2));
+  EXPECT_EQ(doc->node(2).level, 2u);
+  EXPECT_EQ(doc->node(0).level, 0u);
+}
+
+TEST(DocumentBuilderTest, SiblingLinks) {
+  TagDict dict;
+  DocumentBuilder b(&dict);
+  b.Open("r");
+  b.Open("a");
+  (void)b.Close();
+  b.Open("b");
+  (void)b.Close();
+  b.Open("c");
+  (void)b.Close();
+  (void)b.Close();
+  Result<Document> doc = std::move(b).Finish();
+  ASSERT_TRUE(doc.ok());
+  std::vector<NodeId> kids = doc->Children(0);
+  ASSERT_EQ(kids.size(), 3u);
+  EXPECT_EQ(doc->node(kids[0]).tag, dict.Lookup("a"));
+  EXPECT_EQ(doc->node(kids[2]).tag, dict.Lookup("c"));
+}
+
+TEST(DocumentBuilderTest, RejectsTwoRoots) {
+  TagDict dict;
+  DocumentBuilder b(&dict);
+  b.Open("r");
+  (void)b.Close();
+  b.Open("r2");
+  (void)b.Close();
+  EXPECT_FALSE(std::move(b).Finish().ok());
+}
+
+TEST(DocumentBuilderTest, RejectsUnclosed) {
+  TagDict dict;
+  DocumentBuilder b(&dict);
+  b.Open("r");
+  EXPECT_FALSE(std::move(b).Finish().ok());
+}
+
+TEST(DocumentBuilderTest, RejectsEmpty) {
+  TagDict dict;
+  DocumentBuilder b(&dict);
+  EXPECT_FALSE(std::move(b).Finish().ok());
+}
+
+TEST(DocumentTest, SubtreeText) {
+  TagDict dict;
+  DocumentBuilder b(&dict);
+  b.Open("r");
+  (void)b.Text("alpha");
+  b.Open("c");
+  (void)b.Text("beta");
+  (void)b.Close();
+  (void)b.Text("gamma");
+  (void)b.Close();
+  Result<Document> doc = std::move(b).Finish();
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->SubtreeText(0), "alpha gamma beta");
+  EXPECT_EQ(doc->SubtreeText(1), "beta");
+}
+
+TEST(ParserTest, ParsesBasicDocument) {
+  TagDict dict;
+  Result<Document> doc =
+      ParseXml("<a><b x=\"1\">hi</b><c/></a>", &dict);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  ASSERT_EQ(doc->size(), 3u);
+  EXPECT_EQ(doc->node(0).tag, dict.Lookup("a"));
+  EXPECT_EQ(doc->node(1).text, "hi");
+  const std::string* attr = doc->FindAttribute(1, dict.Lookup("x"));
+  ASSERT_NE(attr, nullptr);
+  EXPECT_EQ(*attr, "1");
+}
+
+TEST(ParserTest, HandlesPrologCommentsCdata) {
+  TagDict dict;
+  const char* xml = R"(<?xml version="1.0"?>
+    <!DOCTYPE site [<!ELEMENT site ANY>]>
+    <!-- header comment -->
+    <site><!-- inner --><item><![CDATA[5 < 6 & 7 > 2]]></item></site>)";
+  Result<Document> doc = ParseXml(xml, &dict);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->node(1).text, "5 < 6 & 7 > 2");
+}
+
+TEST(ParserTest, DecodesEntities) {
+  TagDict dict;
+  Result<Document> doc =
+      ParseXml("<a>&lt;tag&gt; &amp; &quot;x&quot; &#65;&#x42;</a>", &dict);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->node(0).text, "<tag> & \"x\" AB");
+}
+
+TEST(ParserTest, EntityInAttribute) {
+  TagDict dict;
+  Result<Document> doc = ParseXml("<a t=\"x&amp;y\"/>", &dict);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(*doc->FindAttribute(0, dict.Lookup("t")), "x&y");
+}
+
+TEST(ParserTest, SingleQuotedAttributes) {
+  TagDict dict;
+  Result<Document> doc = ParseXml("<a t='v'/>", &dict);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(*doc->FindAttribute(0, dict.Lookup("t")), "v");
+}
+
+TEST(ParserTest, RejectsMismatchedTags) {
+  TagDict dict;
+  Result<Document> doc = ParseXml("<a><b></a></b>", &dict);
+  EXPECT_FALSE(doc.ok());
+  EXPECT_EQ(doc.status().code(), StatusCode::kParseError);
+}
+
+TEST(ParserTest, RejectsUnterminated) {
+  TagDict dict;
+  EXPECT_FALSE(ParseXml("<a><b>", &dict).ok());
+}
+
+TEST(ParserTest, RejectsTrailingContent) {
+  TagDict dict;
+  EXPECT_FALSE(ParseXml("<a/><b/>", &dict).ok());
+}
+
+TEST(ParserTest, RejectsUnknownEntity) {
+  TagDict dict;
+  EXPECT_FALSE(ParseXml("<a>&bogus;</a>", &dict).ok());
+}
+
+TEST(ParserTest, ErrorsIncludePosition) {
+  TagDict dict;
+  Result<Document> doc = ParseXml("<a>\n<b></c>\n</a>", &dict);
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.status().message().find("line 2"), std::string::npos)
+      << doc.status().ToString();
+}
+
+TEST(SerializerTest, RoundTripPreservesStructure) {
+  TagDict dict;
+  const char* xml =
+      "<site><item id=\"i1\"><name>gold ring</name>"
+      "<desc>rare &amp; fine</desc></item><item id=\"i2\"/></site>";
+  Result<Document> doc = ParseXml(xml, &dict);
+  ASSERT_TRUE(doc.ok());
+  std::string serialized = SerializeXml(*doc, dict);
+  Result<Document> again = ParseXml(serialized, &dict);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  ASSERT_EQ(again->size(), doc->size());
+  for (NodeId i = 0; i < doc->size(); ++i) {
+    EXPECT_EQ(again->node(i).tag, doc->node(i).tag);
+    EXPECT_EQ(again->node(i).text, doc->node(i).text);
+    EXPECT_EQ(again->node(i).parent, doc->node(i).parent);
+    EXPECT_EQ(again->node(i).level, doc->node(i).level);
+  }
+}
+
+TEST(SerializerTest, PrettyPrintStillParses) {
+  TagDict dict;
+  Result<Document> doc =
+      ParseXml("<a><b>x</b><c><d/></c></a>", &dict);
+  ASSERT_TRUE(doc.ok());
+  SerializeOptions opts;
+  opts.pretty = true;
+  std::string pretty = SerializeXml(*doc, dict, opts);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  Result<Document> again = ParseXml(pretty, &dict);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->size(), doc->size());
+}
+
+TEST(RoundTripPropertyTest, RandomDocumentsSurviveRoundTrip) {
+  Rng rng(2024);
+  TagDict dict;
+  for (int iter = 0; iter < 50; ++iter) {
+    Document doc = testing_util::RandomDocument(&rng, &dict, 60);
+    std::string xml = SerializeXml(doc, dict);
+    Result<Document> again = ParseXml(xml, &dict);
+    ASSERT_TRUE(again.ok()) << xml;
+    ASSERT_EQ(again->size(), doc.size());
+    for (NodeId i = 0; i < doc.size(); ++i) {
+      EXPECT_EQ(again->node(i).tag, doc.node(i).tag);
+      EXPECT_EQ(again->node(i).parent, doc.node(i).parent);
+      EXPECT_EQ(again->node(i).start, doc.node(i).start);
+      EXPECT_EQ(again->node(i).end, doc.node(i).end);
+    }
+  }
+}
+
+TEST(CorpusTest, SharedDictionaryAcrossDocuments) {
+  Corpus corpus;
+  ASSERT_TRUE(corpus.AddXml("<a><b/></a>").ok());
+  ASSERT_TRUE(corpus.AddXml("<a><c/></a>").ok());
+  EXPECT_EQ(corpus.size(), 2u);
+  EXPECT_EQ(corpus.TotalNodes(), 4u);
+  const TagId a = std::as_const(corpus).tags().Lookup("a");
+  EXPECT_EQ(corpus.doc(0).node(0).tag, a);
+  EXPECT_EQ(corpus.doc(1).node(0).tag, a);
+}
+
+TEST(CorpusTest, NodeRefOrdering) {
+  NodeRef a{0, 5};
+  NodeRef b{0, 6};
+  NodeRef c{1, 0};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a, (NodeRef{0, 5}));
+}
+
+TEST(CorpusTest, CrossDocumentRelationsAreFalse) {
+  Corpus corpus;
+  ASSERT_TRUE(corpus.AddXml("<a><b/></a>").ok());
+  ASSERT_TRUE(corpus.AddXml("<a><b/></a>").ok());
+  EXPECT_TRUE(corpus.IsAncestor(NodeRef{0, 0}, NodeRef{0, 1}));
+  EXPECT_FALSE(corpus.IsAncestor(NodeRef{0, 0}, NodeRef{1, 1}));
+  EXPECT_FALSE(corpus.IsParent(NodeRef{1, 0}, NodeRef{0, 1}));
+}
+
+}  // namespace
+}  // namespace flexpath
