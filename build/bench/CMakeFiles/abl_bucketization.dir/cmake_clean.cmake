@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_bucketization.dir/abl_bucketization.cc.o"
+  "CMakeFiles/abl_bucketization.dir/abl_bucketization.cc.o.d"
+  "abl_bucketization"
+  "abl_bucketization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_bucketization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_data_relaxation.dir/abl_data_relaxation.cc.o"
+  "CMakeFiles/abl_data_relaxation.dir/abl_data_relaxation.cc.o.d"
+  "abl_data_relaxation"
+  "abl_data_relaxation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_data_relaxation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

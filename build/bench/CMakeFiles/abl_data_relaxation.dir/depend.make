@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_data_relaxation.
+# This may be replaced when dependencies are built.

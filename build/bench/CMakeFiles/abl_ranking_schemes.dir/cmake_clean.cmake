@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_ranking_schemes.dir/abl_ranking_schemes.cc.o"
+  "CMakeFiles/abl_ranking_schemes.dir/abl_ranking_schemes.cc.o.d"
+  "abl_ranking_schemes"
+  "abl_ranking_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_ranking_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_vary_relaxations.dir/fig09_vary_relaxations.cc.o"
+  "CMakeFiles/fig09_vary_relaxations.dir/fig09_vary_relaxations.cc.o.d"
+  "fig09_vary_relaxations"
+  "fig09_vary_relaxations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_vary_relaxations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

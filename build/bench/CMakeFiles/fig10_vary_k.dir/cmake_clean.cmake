@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_vary_k.dir/fig10_vary_k.cc.o"
+  "CMakeFiles/fig10_vary_k.dir/fig10_vary_k.cc.o.d"
+  "fig10_vary_k"
+  "fig10_vary_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_vary_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

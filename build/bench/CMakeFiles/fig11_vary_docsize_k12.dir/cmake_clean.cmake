@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_vary_docsize_k12.dir/fig11_vary_docsize_k12.cc.o"
+  "CMakeFiles/fig11_vary_docsize_k12.dir/fig11_vary_docsize_k12.cc.o.d"
+  "fig11_vary_docsize_k12"
+  "fig11_vary_docsize_k12.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_vary_docsize_k12.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_vary_docsize_k500.dir/fig12_vary_docsize_k500.cc.o"
+  "CMakeFiles/fig12_vary_docsize_k500.dir/fig12_vary_docsize_k500.cc.o.d"
+  "fig12_vary_docsize_k500"
+  "fig12_vary_docsize_k500.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_vary_docsize_k500.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

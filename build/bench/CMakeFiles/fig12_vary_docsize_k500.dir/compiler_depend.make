@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig12_vary_docsize_k500.
+# This may be replaced when dependencies are built.

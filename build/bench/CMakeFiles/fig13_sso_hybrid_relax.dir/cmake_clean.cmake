@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_sso_hybrid_relax.dir/fig13_sso_hybrid_relax.cc.o"
+  "CMakeFiles/fig13_sso_hybrid_relax.dir/fig13_sso_hybrid_relax.cc.o.d"
+  "fig13_sso_hybrid_relax"
+  "fig13_sso_hybrid_relax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_sso_hybrid_relax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

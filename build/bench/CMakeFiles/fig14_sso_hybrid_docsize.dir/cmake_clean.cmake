@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_sso_hybrid_docsize.dir/fig14_sso_hybrid_docsize.cc.o"
+  "CMakeFiles/fig14_sso_hybrid_docsize.dir/fig14_sso_hybrid_docsize.cc.o.d"
+  "fig14_sso_hybrid_docsize"
+  "fig14_sso_hybrid_docsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_sso_hybrid_docsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_sso_hybrid_k_10mb.dir/fig15_sso_hybrid_k_10mb.cc.o"
+  "CMakeFiles/fig15_sso_hybrid_k_10mb.dir/fig15_sso_hybrid_k_10mb.cc.o.d"
+  "fig15_sso_hybrid_k_10mb"
+  "fig15_sso_hybrid_k_10mb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_sso_hybrid_k_10mb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

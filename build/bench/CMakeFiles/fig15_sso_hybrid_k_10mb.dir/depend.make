@@ -1,0 +1,2 @@
+# Empty dependencies file for fig15_sso_hybrid_k_10mb.
+# This may be replaced when dependencies are built.

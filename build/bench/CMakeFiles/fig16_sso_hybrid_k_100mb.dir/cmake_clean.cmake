@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_sso_hybrid_k_100mb.dir/fig16_sso_hybrid_k_100mb.cc.o"
+  "CMakeFiles/fig16_sso_hybrid_k_100mb.dir/fig16_sso_hybrid_k_100mb.cc.o.d"
+  "fig16_sso_hybrid_k_100mb"
+  "fig16_sso_hybrid_k_100mb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_sso_hybrid_k_100mb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig16_sso_hybrid_k_100mb.
+# This may be replaced when dependencies are built.

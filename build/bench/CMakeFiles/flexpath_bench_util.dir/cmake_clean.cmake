@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexpath_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/flexpath_bench_util.dir/bench_util.cc.o.d"
+  "libflexpath_bench_util.a"
+  "libflexpath_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexpath_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

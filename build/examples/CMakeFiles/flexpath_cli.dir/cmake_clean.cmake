@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexpath_cli.dir/flexpath_cli.cpp.o"
+  "CMakeFiles/flexpath_cli.dir/flexpath_cli.cpp.o.d"
+  "flexpath_cli"
+  "flexpath_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexpath_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

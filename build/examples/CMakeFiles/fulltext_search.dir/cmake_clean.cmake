@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fulltext_search.dir/fulltext_search.cpp.o"
+  "CMakeFiles/fulltext_search.dir/fulltext_search.cpp.o.d"
+  "fulltext_search"
+  "fulltext_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fulltext_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relaxation_explorer.dir/relaxation_explorer.cpp.o"
+  "CMakeFiles/relaxation_explorer.dir/relaxation_explorer.cpp.o.d"
+  "relaxation_explorer"
+  "relaxation_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relaxation_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmark_topk.dir/xmark_topk.cpp.o"
+  "CMakeFiles/xmark_topk.dir/xmark_topk.cpp.o.d"
+  "xmark_topk"
+  "xmark_topk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmark_topk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexpath_common.dir/random.cc.o"
+  "CMakeFiles/flexpath_common.dir/random.cc.o.d"
+  "CMakeFiles/flexpath_common.dir/status.cc.o"
+  "CMakeFiles/flexpath_common.dir/status.cc.o.d"
+  "CMakeFiles/flexpath_common.dir/string_util.cc.o"
+  "CMakeFiles/flexpath_common.dir/string_util.cc.o.d"
+  "libflexpath_common.a"
+  "libflexpath_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexpath_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

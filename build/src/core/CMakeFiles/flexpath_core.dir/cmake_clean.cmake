@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexpath_core.dir/flexpath.cc.o"
+  "CMakeFiles/flexpath_core.dir/flexpath.cc.o.d"
+  "libflexpath_core.a"
+  "libflexpath_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexpath_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/data_relaxation.cc" "src/exec/CMakeFiles/flexpath_exec.dir/data_relaxation.cc.o" "gcc" "src/exec/CMakeFiles/flexpath_exec.dir/data_relaxation.cc.o.d"
+  "/root/repo/src/exec/evaluator.cc" "src/exec/CMakeFiles/flexpath_exec.dir/evaluator.cc.o" "gcc" "src/exec/CMakeFiles/flexpath_exec.dir/evaluator.cc.o.d"
+  "/root/repo/src/exec/naive_evaluator.cc" "src/exec/CMakeFiles/flexpath_exec.dir/naive_evaluator.cc.o" "gcc" "src/exec/CMakeFiles/flexpath_exec.dir/naive_evaluator.cc.o.d"
+  "/root/repo/src/exec/plan.cc" "src/exec/CMakeFiles/flexpath_exec.dir/plan.cc.o" "gcc" "src/exec/CMakeFiles/flexpath_exec.dir/plan.cc.o.d"
+  "/root/repo/src/exec/selectivity.cc" "src/exec/CMakeFiles/flexpath_exec.dir/selectivity.cc.o" "gcc" "src/exec/CMakeFiles/flexpath_exec.dir/selectivity.cc.o.d"
+  "/root/repo/src/exec/structural_join.cc" "src/exec/CMakeFiles/flexpath_exec.dir/structural_join.cc.o" "gcc" "src/exec/CMakeFiles/flexpath_exec.dir/structural_join.cc.o.d"
+  "/root/repo/src/exec/topk.cc" "src/exec/CMakeFiles/flexpath_exec.dir/topk.cc.o" "gcc" "src/exec/CMakeFiles/flexpath_exec.dir/topk.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rank/CMakeFiles/flexpath_rank.dir/DependInfo.cmake"
+  "/root/repo/build/src/relax/CMakeFiles/flexpath_relax.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/flexpath_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/flexpath_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/flexpath_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/flexpath_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/flexpath_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexpath_exec.dir/data_relaxation.cc.o"
+  "CMakeFiles/flexpath_exec.dir/data_relaxation.cc.o.d"
+  "CMakeFiles/flexpath_exec.dir/evaluator.cc.o"
+  "CMakeFiles/flexpath_exec.dir/evaluator.cc.o.d"
+  "CMakeFiles/flexpath_exec.dir/naive_evaluator.cc.o"
+  "CMakeFiles/flexpath_exec.dir/naive_evaluator.cc.o.d"
+  "CMakeFiles/flexpath_exec.dir/plan.cc.o"
+  "CMakeFiles/flexpath_exec.dir/plan.cc.o.d"
+  "CMakeFiles/flexpath_exec.dir/selectivity.cc.o"
+  "CMakeFiles/flexpath_exec.dir/selectivity.cc.o.d"
+  "CMakeFiles/flexpath_exec.dir/structural_join.cc.o"
+  "CMakeFiles/flexpath_exec.dir/structural_join.cc.o.d"
+  "CMakeFiles/flexpath_exec.dir/topk.cc.o"
+  "CMakeFiles/flexpath_exec.dir/topk.cc.o.d"
+  "libflexpath_exec.a"
+  "libflexpath_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexpath_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/engine.cc" "src/ir/CMakeFiles/flexpath_ir.dir/engine.cc.o" "gcc" "src/ir/CMakeFiles/flexpath_ir.dir/engine.cc.o.d"
+  "/root/repo/src/ir/ft_expr.cc" "src/ir/CMakeFiles/flexpath_ir.dir/ft_expr.cc.o" "gcc" "src/ir/CMakeFiles/flexpath_ir.dir/ft_expr.cc.o.d"
+  "/root/repo/src/ir/inverted_index.cc" "src/ir/CMakeFiles/flexpath_ir.dir/inverted_index.cc.o" "gcc" "src/ir/CMakeFiles/flexpath_ir.dir/inverted_index.cc.o.d"
+  "/root/repo/src/ir/stemmer.cc" "src/ir/CMakeFiles/flexpath_ir.dir/stemmer.cc.o" "gcc" "src/ir/CMakeFiles/flexpath_ir.dir/stemmer.cc.o.d"
+  "/root/repo/src/ir/thesaurus.cc" "src/ir/CMakeFiles/flexpath_ir.dir/thesaurus.cc.o" "gcc" "src/ir/CMakeFiles/flexpath_ir.dir/thesaurus.cc.o.d"
+  "/root/repo/src/ir/tokenizer.cc" "src/ir/CMakeFiles/flexpath_ir.dir/tokenizer.cc.o" "gcc" "src/ir/CMakeFiles/flexpath_ir.dir/tokenizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xml/CMakeFiles/flexpath_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/flexpath_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

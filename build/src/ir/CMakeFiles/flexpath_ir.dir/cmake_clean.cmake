@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexpath_ir.dir/engine.cc.o"
+  "CMakeFiles/flexpath_ir.dir/engine.cc.o.d"
+  "CMakeFiles/flexpath_ir.dir/ft_expr.cc.o"
+  "CMakeFiles/flexpath_ir.dir/ft_expr.cc.o.d"
+  "CMakeFiles/flexpath_ir.dir/inverted_index.cc.o"
+  "CMakeFiles/flexpath_ir.dir/inverted_index.cc.o.d"
+  "CMakeFiles/flexpath_ir.dir/stemmer.cc.o"
+  "CMakeFiles/flexpath_ir.dir/stemmer.cc.o.d"
+  "CMakeFiles/flexpath_ir.dir/thesaurus.cc.o"
+  "CMakeFiles/flexpath_ir.dir/thesaurus.cc.o.d"
+  "CMakeFiles/flexpath_ir.dir/tokenizer.cc.o"
+  "CMakeFiles/flexpath_ir.dir/tokenizer.cc.o.d"
+  "libflexpath_ir.a"
+  "libflexpath_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexpath_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/containment.cc" "src/query/CMakeFiles/flexpath_query.dir/containment.cc.o" "gcc" "src/query/CMakeFiles/flexpath_query.dir/containment.cc.o.d"
+  "/root/repo/src/query/logical.cc" "src/query/CMakeFiles/flexpath_query.dir/logical.cc.o" "gcc" "src/query/CMakeFiles/flexpath_query.dir/logical.cc.o.d"
+  "/root/repo/src/query/predicate.cc" "src/query/CMakeFiles/flexpath_query.dir/predicate.cc.o" "gcc" "src/query/CMakeFiles/flexpath_query.dir/predicate.cc.o.d"
+  "/root/repo/src/query/tpq.cc" "src/query/CMakeFiles/flexpath_query.dir/tpq.cc.o" "gcc" "src/query/CMakeFiles/flexpath_query.dir/tpq.cc.o.d"
+  "/root/repo/src/query/xpath_parser.cc" "src/query/CMakeFiles/flexpath_query.dir/xpath_parser.cc.o" "gcc" "src/query/CMakeFiles/flexpath_query.dir/xpath_parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/flexpath_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/flexpath_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/flexpath_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexpath_query.dir/containment.cc.o"
+  "CMakeFiles/flexpath_query.dir/containment.cc.o.d"
+  "CMakeFiles/flexpath_query.dir/logical.cc.o"
+  "CMakeFiles/flexpath_query.dir/logical.cc.o.d"
+  "CMakeFiles/flexpath_query.dir/predicate.cc.o"
+  "CMakeFiles/flexpath_query.dir/predicate.cc.o.d"
+  "CMakeFiles/flexpath_query.dir/tpq.cc.o"
+  "CMakeFiles/flexpath_query.dir/tpq.cc.o.d"
+  "CMakeFiles/flexpath_query.dir/xpath_parser.cc.o"
+  "CMakeFiles/flexpath_query.dir/xpath_parser.cc.o.d"
+  "libflexpath_query.a"
+  "libflexpath_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexpath_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexpath_rank.dir/score.cc.o"
+  "CMakeFiles/flexpath_rank.dir/score.cc.o.d"
+  "libflexpath_rank.a"
+  "libflexpath_rank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexpath_rank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

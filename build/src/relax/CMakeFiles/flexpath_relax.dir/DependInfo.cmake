@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/relax/extensions.cc" "src/relax/CMakeFiles/flexpath_relax.dir/extensions.cc.o" "gcc" "src/relax/CMakeFiles/flexpath_relax.dir/extensions.cc.o.d"
+  "/root/repo/src/relax/operators.cc" "src/relax/CMakeFiles/flexpath_relax.dir/operators.cc.o" "gcc" "src/relax/CMakeFiles/flexpath_relax.dir/operators.cc.o.d"
+  "/root/repo/src/relax/penalty.cc" "src/relax/CMakeFiles/flexpath_relax.dir/penalty.cc.o" "gcc" "src/relax/CMakeFiles/flexpath_relax.dir/penalty.cc.o.d"
+  "/root/repo/src/relax/relaxation.cc" "src/relax/CMakeFiles/flexpath_relax.dir/relaxation.cc.o" "gcc" "src/relax/CMakeFiles/flexpath_relax.dir/relaxation.cc.o.d"
+  "/root/repo/src/relax/schedule.cc" "src/relax/CMakeFiles/flexpath_relax.dir/schedule.cc.o" "gcc" "src/relax/CMakeFiles/flexpath_relax.dir/schedule.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/query/CMakeFiles/flexpath_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/flexpath_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/flexpath_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/flexpath_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/flexpath_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexpath_relax.dir/extensions.cc.o"
+  "CMakeFiles/flexpath_relax.dir/extensions.cc.o.d"
+  "CMakeFiles/flexpath_relax.dir/operators.cc.o"
+  "CMakeFiles/flexpath_relax.dir/operators.cc.o.d"
+  "CMakeFiles/flexpath_relax.dir/penalty.cc.o"
+  "CMakeFiles/flexpath_relax.dir/penalty.cc.o.d"
+  "CMakeFiles/flexpath_relax.dir/relaxation.cc.o"
+  "CMakeFiles/flexpath_relax.dir/relaxation.cc.o.d"
+  "CMakeFiles/flexpath_relax.dir/schedule.cc.o"
+  "CMakeFiles/flexpath_relax.dir/schedule.cc.o.d"
+  "libflexpath_relax.a"
+  "libflexpath_relax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexpath_relax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexpath_stats.dir/document_stats.cc.o"
+  "CMakeFiles/flexpath_stats.dir/document_stats.cc.o.d"
+  "CMakeFiles/flexpath_stats.dir/element_index.cc.o"
+  "CMakeFiles/flexpath_stats.dir/element_index.cc.o.d"
+  "libflexpath_stats.a"
+  "libflexpath_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexpath_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

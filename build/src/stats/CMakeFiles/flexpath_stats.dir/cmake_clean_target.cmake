@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libflexpath_stats.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexpath_xmark.dir/generator.cc.o"
+  "CMakeFiles/flexpath_xmark.dir/generator.cc.o.d"
+  "CMakeFiles/flexpath_xmark.dir/wordlist.cc.o"
+  "CMakeFiles/flexpath_xmark.dir/wordlist.cc.o.d"
+  "libflexpath_xmark.a"
+  "libflexpath_xmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexpath_xmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

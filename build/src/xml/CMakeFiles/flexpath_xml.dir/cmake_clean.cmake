@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexpath_xml.dir/binary_codec.cc.o"
+  "CMakeFiles/flexpath_xml.dir/binary_codec.cc.o.d"
+  "CMakeFiles/flexpath_xml.dir/corpus.cc.o"
+  "CMakeFiles/flexpath_xml.dir/corpus.cc.o.d"
+  "CMakeFiles/flexpath_xml.dir/document.cc.o"
+  "CMakeFiles/flexpath_xml.dir/document.cc.o.d"
+  "CMakeFiles/flexpath_xml.dir/parser.cc.o"
+  "CMakeFiles/flexpath_xml.dir/parser.cc.o.d"
+  "CMakeFiles/flexpath_xml.dir/serializer.cc.o"
+  "CMakeFiles/flexpath_xml.dir/serializer.cc.o.d"
+  "CMakeFiles/flexpath_xml.dir/tag_dict.cc.o"
+  "CMakeFiles/flexpath_xml.dir/tag_dict.cc.o.d"
+  "CMakeFiles/flexpath_xml.dir/type_hierarchy.cc.o"
+  "CMakeFiles/flexpath_xml.dir/type_hierarchy.cc.o.d"
+  "libflexpath_xml.a"
+  "libflexpath_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexpath_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/binary_codec_test.dir/binary_codec_test.cc.o"
+  "CMakeFiles/binary_codec_test.dir/binary_codec_test.cc.o.d"
+  "binary_codec_test"
+  "binary_codec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/binary_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_relaxation_test.dir/data_relaxation_test.cc.o"
+  "CMakeFiles/data_relaxation_test.dir/data_relaxation_test.cc.o.d"
+  "data_relaxation_test"
+  "data_relaxation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_relaxation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/extensions_test.cc" "tests/CMakeFiles/extensions_test.dir/extensions_test.cc.o" "gcc" "tests/CMakeFiles/extensions_test.dir/extensions_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/flexpath_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/flexpath_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/rank/CMakeFiles/flexpath_rank.dir/DependInfo.cmake"
+  "/root/repo/build/src/relax/CMakeFiles/flexpath_relax.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/flexpath_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/flexpath_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/flexpath_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/xmark/CMakeFiles/flexpath_xmark.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/flexpath_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/flexpath_common.dir/DependInfo.cmake"
+  "/root/repo/build/tests/CMakeFiles/flexpath_test_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

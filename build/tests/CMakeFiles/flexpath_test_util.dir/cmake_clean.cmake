@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexpath_test_util.dir/test_util.cc.o"
+  "CMakeFiles/flexpath_test_util.dir/test_util.cc.o.d"
+  "libflexpath_test_util.a"
+  "libflexpath_test_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexpath_test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
