@@ -4,6 +4,8 @@
 // peak bucket count (buckets stay few because scores are mask-derived).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
 #include "bench/bench_util.h"
 #include "exec/evaluator.h"
 #include "exec/plan.h"
@@ -46,6 +48,21 @@ void BM_EvaluatorMode(benchmark::State& state, flexpath::EvalMode mode) {
   state.counters["tuples"] = static_cast<double>(counters.tuples_created);
   state.counters["buckets_peak"] =
       static_cast<double>(counters.buckets_peak);
+  {
+    flexpath::ExecCounters json_counters;
+    const auto start = std::chrono::steady_clock::now();
+    auto answers = evaluator.Evaluate(*plan, mode, k,
+                                      flexpath::RankScheme::kStructureFirst,
+                                      0.0, &json_counters);
+    const double elapsed_ms = std::chrono::duration<double, std::milli>(
+                                  std::chrono::steady_clock::now() - start)
+                                  .count();
+    flexpath::bench_util::EmitJsonLine(
+        "abl_bucketization",
+        mode == flexpath::EvalMode::kSsoFlat ? "SsoFlat" : "HybridBuckets",
+        k, fixture.target_bytes, elapsed_ms, json_counters, schedule.size(),
+        answers.size());
+  }
 }
 
 }  // namespace

@@ -6,6 +6,8 @@
 // against the Hybrid engine answering the equivalent fully-relaxed query.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
 #include "bench/bench_util.h"
 #include "exec/data_relaxation.h"
 #include "exec/evaluator.h"
@@ -15,6 +17,22 @@
 namespace {
 
 using flexpath::bench_util::GetFixtureMb;
+
+/// One extra timed run of `op`, reported as this benchmark's JSON line.
+/// These ablations bypass TopKProcessor, so counters stay empty and
+/// "answers" carries the op's result count.
+template <typename OpFn>
+void EmitOpJson(flexpath::bench_util::Fixture& fixture,
+                const char* algorithm, OpFn op) {
+  const auto start = std::chrono::steady_clock::now();
+  const size_t answers = op();
+  const double elapsed_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - start)
+                                .count();
+  flexpath::bench_util::EmitJsonLine("abl_data_relaxation", algorithm, 0,
+                                     fixture.target_bytes, elapsed_ms,
+                                     flexpath::ExecCounters{}, 0, answers);
+}
 
 flexpath::DataRelaxationIndex& ClosureFor(flexpath::bench_util::Fixture& f,
                                           double mb) {
@@ -40,6 +58,10 @@ void BM_DataRelaxationBuild(benchmark::State& state) {
     state.counters["tree_edges"] =
         static_cast<double>(fixture.corpus.TotalNodes());
   }
+  EmitOpJson(fixture, "DataRelaxationBuild", [&] {
+    flexpath::DataRelaxationIndex closure(&fixture.corpus);
+    return closure.edge_count();
+  });
 }
 
 void BM_DataRelaxationQuery(benchmark::State& state) {
@@ -52,6 +74,9 @@ void BM_DataRelaxationQuery(benchmark::State& state) {
     benchmark::DoNotOptimize(answers);
     state.counters["answers"] = static_cast<double>(answers.size());
   }
+  EmitOpJson(fixture, "DataRelaxationQuery", [&] {
+    return closure.Evaluate(q, fixture.ir.get()).size();
+  });
 }
 
 void BM_QueryRelaxationQuery(benchmark::State& state) {
@@ -79,6 +104,12 @@ void BM_QueryRelaxationQuery(benchmark::State& state) {
     benchmark::DoNotOptimize(answers);
     state.counters["answers"] = static_cast<double>(answers.size());
   }
+  EmitOpJson(fixture, "QueryRelaxationQuery", [&] {
+    return evaluator
+        .Evaluate(*plan, flexpath::EvalMode::kExact, 0,
+                  flexpath::RankScheme::kStructureFirst, 0.0, nullptr)
+        .size();
+  });
 }
 
 }  // namespace

@@ -4,10 +4,29 @@
 // called out in DESIGN.md ("interval encoding + merge joins").
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
 #include "bench/bench_util.h"
 #include "exec/structural_join.h"
 
 namespace {
+
+/// One timed run of `join`, reported as this benchmark's JSON line. The
+/// structural-join ablation bypasses TopKProcessor, so k and relaxations
+/// are zero and the counters are empty; "answers" is the pair count.
+template <typename JoinFn>
+void EmitJoinJson(flexpath::bench_util::Fixture& fixture,
+                  const char* algorithm, JoinFn join) {
+  const auto start = std::chrono::steady_clock::now();
+  auto pairs = join();
+  const double elapsed_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - start)
+                                .count();
+  flexpath::bench_util::EmitJsonLine("abl_join_vs_naive", algorithm, 0,
+                                     fixture.target_bytes, elapsed_ms,
+                                     flexpath::ExecCounters{}, 0,
+                                     pairs.size());
+}
 
 void BM_StackJoin(benchmark::State& state) {
   using flexpath::bench_util::GetFixture;
@@ -24,6 +43,9 @@ void BM_StackJoin(benchmark::State& state) {
   }
   state.counters["ancestors"] = static_cast<double>(items.size());
   state.counters["descendants"] = static_cast<double>(texts.size());
+  EmitJoinJson(fixture, "StackJoin", [&] {
+    return flexpath::StructuralJoin(fixture.corpus, items, texts, false);
+  });
 }
 
 void BM_NestedLoopJoin(benchmark::State& state) {
@@ -39,6 +61,9 @@ void BM_NestedLoopJoin(benchmark::State& state) {
         flexpath::NestedLoopJoin(fixture.corpus, items, texts, false);
     benchmark::DoNotOptimize(pairs);
   }
+  EmitJoinJson(fixture, "NestedLoopJoin", [&] {
+    return flexpath::NestedLoopJoin(fixture.corpus, items, texts, false);
+  });
 }
 
 }  // namespace

@@ -31,6 +31,9 @@ void BM_Scheme(benchmark::State& state, flexpath::RankScheme scheme) {
   state.counters["answers"] = static_cast<double>(result.answers.size());
   state.counters["tuples"] =
       static_cast<double>(result.counters.tuples_created);
+  flexpath::bench_util::EmitTopKRunJson(
+      std::string("abl_ranking_schemes/") + flexpath::RankSchemeName(scheme),
+      fixture, q, flexpath::Algorithm::kHybrid, 100, scheme);
 }
 
 }  // namespace

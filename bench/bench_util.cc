@@ -1,9 +1,11 @@
 #include "bench/bench_util.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 
+#include "common/string_util.h"
 #include "query/xpath_parser.h"
 #include "xmark/generator.h"
 
@@ -29,6 +31,7 @@ Fixture& GetFixture(uint64_t bytes) {
   if (it != cache.end()) return *it->second;
 
   auto* fixture = new Fixture();
+  fixture->target_bytes = bytes;
   XMarkOptions opts;
   opts.target_bytes = bytes;
   opts.seed = 42;
@@ -81,6 +84,50 @@ TopKResult RunTopK(Fixture& fixture, const Tpq& q, Algorithm algo, size_t k,
     std::abort();
   }
   return *std::move(result);
+}
+
+void EmitJsonLine(const std::string& bench, const char* algorithm, size_t k,
+                  uint64_t corpus_bytes, double elapsed_ms,
+                  const ExecCounters& counters, size_t relaxations,
+                  size_t answers) {
+  std::string line = "{\"bench\":\"";
+  line += JsonEscape(bench);
+  line += "\",\"algorithm\":\"";
+  line += JsonEscape(algorithm);
+  line += "\",\"k\":" + std::to_string(k);
+  line += ",\"corpus_bytes\":" + std::to_string(corpus_bytes);
+  char ms[32];
+  std::snprintf(ms, sizeof(ms), "%.3f", elapsed_ms);
+  line += ",\"elapsed_ms\":";
+  line += ms;
+  line += ",\"relaxations_used\":" + std::to_string(relaxations);
+  line += ",\"answers\":" + std::to_string(answers);
+  line += ",\"counters\":{";
+  bool first = true;
+  counters.ForEach([&](const char* name, uint64_t value) {
+    if (!first) line += ',';
+    first = false;
+    line += '"';
+    line += name;
+    line += "\":" + std::to_string(value);
+  });
+  line += "}}";
+  std::fprintf(stderr, "%s\n", line.c_str());
+}
+
+TopKResult EmitTopKRunJson(const std::string& bench, Fixture& fixture,
+                           const Tpq& q, Algorithm algo, size_t k,
+                           RankScheme scheme) {
+  const auto start = std::chrono::steady_clock::now();
+  TopKResult result = RunTopK(fixture, q, algo, k, scheme);
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  EmitJsonLine(bench, AlgorithmName(algo), k, fixture.target_bytes,
+               elapsed_ms, result.counters, result.relaxations_used,
+               result.answers.size());
+  return result;
 }
 
 }  // namespace bench_util

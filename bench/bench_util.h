@@ -28,6 +28,7 @@ inline constexpr const char* kQ3 =
 /// indexed once no matter how many benchmarks use it.
 struct Fixture {
   Corpus corpus;
+  uint64_t target_bytes = 0;  ///< The generated document's target size.
   std::unique_ptr<ElementIndex> index;
   std::unique_ptr<DocumentStats> stats;
   std::unique_ptr<IrEngine> ir;
@@ -60,6 +61,23 @@ double SweepSizeMb(int index);
 /// Runs one top-K query and returns the result (asserts success).
 TopKResult RunTopK(Fixture& fixture, const Tpq& q, Algorithm algo, size_t k,
                    RankScheme scheme = RankScheme::kStructureFirst);
+
+/// Prints one machine-parseable JSON line describing a benchmark run to
+/// stderr (stdout belongs to google-benchmark's reporter):
+///   {"bench":"fig10/DPO","algorithm":"DPO","k":600,"corpus_bytes":...,
+///    "elapsed_ms":...,"relaxations_used":...,"answers":...,
+///    "counters":{"plan_passes":...,...all ExecCounters fields...}}
+void EmitJsonLine(const std::string& bench, const char* algorithm, size_t k,
+                  uint64_t corpus_bytes, double elapsed_ms,
+                  const ExecCounters& counters, size_t relaxations,
+                  size_t answers);
+
+/// Times one un-instrumented top-K run and emits its JSON line. Call once
+/// per benchmark case, after the google-benchmark timing loop, so every
+/// `BENCH_*` invocation leaves a mechanical record of what it measured.
+TopKResult EmitTopKRunJson(const std::string& bench, Fixture& fixture,
+                           const Tpq& q, Algorithm algo, size_t k,
+                           RankScheme scheme = RankScheme::kStructureFirst);
 
 }  // namespace bench_util
 }  // namespace flexpath

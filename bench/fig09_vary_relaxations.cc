@@ -22,6 +22,8 @@ void BM_Fig09(benchmark::State& state, flexpath::Algorithm algo,
   state.counters["answers"] = static_cast<double>(result.answers.size());
   state.counters["plan_passes"] =
       static_cast<double>(result.counters.plan_passes);
+  flexpath::bench_util::EmitTopKRunJson(std::string("fig09/") + query,
+                                        fixture, q, algo, 50);
 }
 
 }  // namespace

@@ -21,6 +21,7 @@ void BM_Fig10(benchmark::State& state, flexpath::Algorithm algo) {
   state.counters["relaxations"] =
       static_cast<double>(result.relaxations_used);
   state.counters["answers"] = static_cast<double>(result.answers.size());
+  flexpath::bench_util::EmitTopKRunJson("fig10_vary_k", fixture, q, algo, k);
 }
 
 }  // namespace

@@ -22,6 +22,8 @@ void BM_Fig11(benchmark::State& state, flexpath::Algorithm algo) {
   state.counters["relaxations"] =
       static_cast<double>(result.relaxations_used);
   state.counters["answers"] = static_cast<double>(result.answers.size());
+  flexpath::bench_util::EmitTopKRunJson("fig11_vary_docsize_k12", fixture, q,
+                                        algo, 12);
 }
 
 }  // namespace

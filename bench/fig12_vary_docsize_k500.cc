@@ -25,6 +25,8 @@ void BM_Fig12(benchmark::State& state, flexpath::Algorithm algo) {
   state.counters["relaxations"] =
       static_cast<double>(result.relaxations_used);
   state.counters["answers"] = static_cast<double>(result.answers.size());
+  flexpath::bench_util::EmitTopKRunJson("fig12_vary_docsize_k500", fixture,
+                                        q, algo, 500);
 }
 
 }  // namespace

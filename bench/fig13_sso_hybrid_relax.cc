@@ -24,6 +24,8 @@ void BM_Fig13(benchmark::State& state, flexpath::Algorithm algo,
   state.counters["score_sorted_items"] =
       static_cast<double>(result.counters.score_sorted_items);
   state.counters["answers"] = static_cast<double>(result.answers.size());
+  flexpath::bench_util::EmitTopKRunJson(std::string("fig13/") + query,
+                                        fixture, q, algo, 500);
 }
 
 }  // namespace

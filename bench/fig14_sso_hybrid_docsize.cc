@@ -21,6 +21,8 @@ void BM_Fig14(benchmark::State& state, flexpath::Algorithm algo) {
   state.counters["score_sorted_items"] =
       static_cast<double>(result.counters.score_sorted_items);
   state.counters["answers"] = static_cast<double>(result.answers.size());
+  flexpath::bench_util::EmitTopKRunJson("fig14_sso_hybrid_docsize", fixture,
+                                        q, algo, 500);
 }
 
 }  // namespace

@@ -20,6 +20,8 @@ void BM_Fig15(benchmark::State& state, flexpath::Algorithm algo) {
   state.counters["score_sorted_items"] =
       static_cast<double>(result.counters.score_sorted_items);
   state.counters["answers"] = static_cast<double>(result.answers.size());
+  flexpath::bench_util::EmitTopKRunJson("fig15_sso_hybrid_k_10mb", fixture,
+                                        q, algo, k);
 }
 
 }  // namespace

@@ -2,6 +2,14 @@
 //
 //   flexpath_cli file1.xml file2.xml ...     # load documents, then REPL
 //   flexpath_cli --xmark 5                   # 5MB of generated data
+//   flexpath_cli --xmark 5 --explain "<xpath>"
+//                                            # one-shot EXPLAIN ANALYZE:
+//                                            # run the query with tracing
+//                                            # on, print the span tree
+//                                            # (per-round timings, dropped
+//                                            # predicates, counter deltas)
+//   flexpath_cli --xmark 5 --explain-json "<xpath>"
+//                                            # same, as a JSON trace
 //
 // Commands (one per line):
 //   <xpath>                    run a top-K query (default settings)
@@ -9,6 +17,7 @@
 //   :algo dpo|sso|hybrid       choose the top-K algorithm
 //   :scheme structure|keyword|combined
 //   :explain <xpath>           show closure, operators and the schedule
+//   :analyze <xpath>           run with tracing, print the span tree
 //   :synonym A B               register B as a synonym of A
 //   :subtype SUPER SUB         declare SUB a subtype of SUPER (pre-Build
 //                              only, so available via --prelude)
@@ -45,6 +54,7 @@ void PrintHelp() {
       "  :algo dpo|sso|hybrid     choose the algorithm\n"
       "  :scheme structure|keyword|combined\n"
       "  :explain <xpath>         closure, operators, schedule\n"
+      "  :analyze <xpath>         run with tracing, print the span tree\n"
       "  :synonym A B             thesaurus entry (B relaxes A)\n"
       "  :stats                   corpus statistics\n"
       "  :help, :quit\n");
@@ -94,6 +104,41 @@ void Explain(CliState& state, const std::string& xpath) {
                 e.cumulative_penalty, e.op.ToString().c_str(),
                 state.fp.Describe(e.relaxed).c_str());
   }
+}
+
+// EXPLAIN ANALYZE: runs the query with trace collection on and prints
+// the execution span tree — one span per relaxation round with its
+// wall-clock time, dropped predicates, and ExecCounters delta. Returns
+// nonzero on error so the one-shot flags can exit with a status.
+int ExplainAnalyze(CliState& state, const std::string& xpath,
+                   bool as_json) {
+  flexpath::Result<flexpath::Tpq> q = state.fp.Parse(xpath);
+  if (!q.ok()) {
+    std::printf("error: %s\n", q.status().ToString().c_str());
+    return 1;
+  }
+  flexpath::TopKOptions opts;
+  opts.k = state.k;
+  opts.scheme = state.scheme;
+  opts.collect_trace = true;
+  flexpath::Result<flexpath::TopKResult> result =
+      state.fp.QueryTpq(*q, opts, state.algo);
+  if (!result.ok()) {
+    std::printf("error: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  if (result->trace == nullptr) {
+    std::printf("error: no trace collected\n");
+    return 1;
+  }
+  if (as_json) {
+    std::printf("%s\n", flexpath::TraceToJson(*result->trace).c_str());
+  } else {
+    std::printf("%s", flexpath::TraceToText(*result->trace).c_str());
+    std::printf("answers: %zu, relaxations used: %zu\n",
+                result->answers.size(), result->relaxations_used);
+  }
+  return 0;
 }
 
 void PrintStats(CliState& state) {
@@ -160,6 +205,11 @@ int Repl(CliState& state) {
       std::string rest;
       std::getline(words, rest);
       Explain(state, std::string(flexpath::Trim(rest)));
+    } else if (cmd == ":analyze") {
+      std::string rest;
+      std::getline(words, rest);
+      ExplainAnalyze(state, std::string(flexpath::Trim(rest)),
+                     /*as_json=*/false);
     } else if (cmd == ":synonym") {
       std::string a, b;
       if (words >> a >> b) {
@@ -182,7 +232,19 @@ int Repl(CliState& state) {
 int main(int argc, char** argv) {
   CliState state;
   bool loaded = false;
+  const char* explain_query = nullptr;
+  bool explain_json = false;
   for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--explain") == 0 ||
+        std::strcmp(argv[i], "--explain-json") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a query argument\n", argv[i]);
+        return 2;
+      }
+      explain_json = std::strcmp(argv[i], "--explain-json") == 0;
+      explain_query = argv[++i];
+      continue;
+    }
     if (std::strcmp(argv[i], "--xmark") == 0 && i + 1 < argc) {
       flexpath::XMarkOptions opts;
       opts.target_bytes = static_cast<uint64_t>(
@@ -208,14 +270,19 @@ int main(int argc, char** argv) {
   }
   if (!loaded) {
     std::fprintf(stderr,
-                 "usage: %s [--xmark MB] [file.xml ...]\n"
-                 "loads documents, then starts an interactive shell\n",
+                 "usage: %s [--xmark MB] [--explain \"<xpath>\"] "
+                 "[--explain-json \"<xpath>\"] [file.xml ...]\n"
+                 "loads documents, then starts an interactive shell;\n"
+                 "--explain runs one traced query and exits\n",
                  argv[0]);
     return 2;
   }
   if (flexpath::Status st = state.fp.Build(); !st.ok()) {
     std::fprintf(stderr, "build failed: %s\n", st.ToString().c_str());
     return 1;
+  }
+  if (explain_query != nullptr) {
+    return ExplainAnalyze(state, explain_query, explain_json);
   }
   PrintStats(state);
   return Repl(state);

@@ -1,0 +1,214 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace flexpath {
+
+namespace {
+
+/// Shortest round-trippable rendering of a double for JSON output.
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // Prefer the shorter %g form when it round-trips exactly.
+  char shorter[64];
+  std::snprintf(shorter, sizeof(shorter), "%g", v);
+  double back = 0.0;
+  if (std::sscanf(shorter, "%lf", &back) == 1 && back == v) {
+    return shorter;
+  }
+  return buf;
+}
+
+void AtomicMin(std::atomic<double>* a, double v) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>* a, double v) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  uint64_t below = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    const uint64_t in_bucket = counts[i];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(below + in_bucket) >= target) {
+      // Interpolate within [lower edge, upper edge]; the overflow bucket
+      // and observed extremes are clamped to what we actually saw.
+      const double lo = i == 0 ? std::min(min, bounds.front()) : bounds[i - 1];
+      const double hi = i < bounds.size() ? bounds[i] : std::max(max, lo);
+      const double frac =
+          (target - static_cast<double>(below)) / static_cast<double>(in_bucket);
+      return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+    }
+    below += in_bucket;
+  }
+  return max;
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+         "histogram bucket edges must be increasing");
+  assert(!bounds_.empty() && "histogram needs at least one bucket edge");
+}
+
+std::vector<double> Histogram::DefaultLatencyBoundsMs() {
+  return {0.001, 0.002, 0.005, 0.01, 0.02,  0.05,  0.1,   0.2,
+          0.5,   1.0,   2.0,   5.0,  10.0,  20.0,  50.0,  100.0,
+          200.0, 500.0, 1000.0, 2000.0, 5000.0, 10000.0, 30000.0, 100000.0};
+}
+
+void Histogram::Observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const size_t idx = static_cast<size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  if (count_.fetch_add(1, std::memory_order_relaxed) == 0) {
+    // First observation seeds min/max; racing observers correct it below.
+    min_.store(value, std::memory_order_relaxed);
+    max_.store(value, std::memory_order_relaxed);
+  }
+  AtomicMin(&min_, value);
+  AtomicMax(&max_, value);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.reserve(buckets_.size());
+  for (const std::atomic<uint64_t>& b : buckets_) {
+    snap.counts.push_back(b.load(std::memory_order_relaxed));
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.min = min_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (std::atomic<uint64_t>& b : buckets_) {
+    b.store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static auto* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>(
+        bounds.empty() ? Histogram::DefaultLatencyBoundsMs()
+                       : std::move(bounds));
+  }
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->Value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->Value();
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms[name] = h->Snapshot();
+  }
+  return snap;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) c->Reset();
+  for (const auto& [name, g] : gauges_) g->Reset();
+  for (const auto& [name, h] : histograms_) h->Reset();
+}
+
+std::string MetricsToJson(const MetricsSnapshot& snapshot) {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += name;  // metric names are library-chosen identifiers.
+    out += "\":";
+    out += std::to_string(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += name;
+    out += "\":";
+    out += std::to_string(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : snapshot.histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += name;
+    out += "\":{\"count\":" + std::to_string(h.count);
+    out += ",\"sum\":" + FormatDouble(h.sum);
+    out += ",\"min\":" + FormatDouble(h.min);
+    out += ",\"max\":" + FormatDouble(h.max);
+    out += ",\"mean\":" + FormatDouble(h.Mean());
+    out += ",\"p50\":" + FormatDouble(h.Quantile(0.5));
+    out += ",\"p99\":" + FormatDouble(h.Quantile(0.99));
+    out += ",\"bounds\":[";
+    for (size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i > 0) out += ',';
+      out += FormatDouble(h.bounds[i]);
+    }
+    out += "],\"buckets\":[";
+    for (size_t i = 0; i < h.counts.size(); ++i) {
+      if (i > 0) out += ',';
+      out += std::to_string(h.counts[i]);
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace flexpath

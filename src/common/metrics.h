@@ -1,0 +1,142 @@
+#ifndef FLEXPATH_COMMON_METRICS_H_
+#define FLEXPATH_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace flexpath {
+
+/// A monotonically increasing event count. Increment is one relaxed
+/// atomic add, so counters are safe to touch on hot paths.
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A point-in-time level (queue depth, cache size, live buckets).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  /// Raises the gauge to `v` if it is below (peak tracking).
+  void Max(int64_t v) {
+    int64_t cur = value_.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Point-in-time copy of one histogram: per-bucket counts plus the usual
+/// aggregates. `bounds[i]` is bucket i's inclusive upper edge; the last
+/// bucket (counts.size() == bounds.size() + 1) is the overflow bucket.
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  std::vector<uint64_t> counts;
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  ///< Meaningful only when count > 0.
+  double max = 0.0;
+
+  double Mean() const { return count == 0 ? 0.0 : sum / count; }
+  /// Linear-interpolated quantile estimate from the bucket counts,
+  /// `q` in [0, 1]. Overflow-bucket hits interpolate between the top
+  /// finite edge and the observed max.
+  double Quantile(double q) const;
+};
+
+/// A fixed-bucket histogram. Bucket edges are chosen at construction and
+/// never change, so Observe() is a binary search plus relaxed atomic
+/// adds — no locks on the record path.
+class Histogram {
+ public:
+  /// `bounds` must be strictly increasing; an overflow bucket is added
+  /// above the last edge automatically.
+  explicit Histogram(std::vector<double> bounds);
+
+  /// Default edges for millisecond latencies: 1us to ~100s in roughly
+  /// 1-2-5 steps.
+  static std::vector<double> DefaultLatencyBoundsMs();
+
+  void Observe(double value);
+  HistogramSnapshot Snapshot() const;
+  void Reset();
+
+  const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<uint64_t>> buckets_;  ///< bounds_.size() + 1.
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// Everything the registry knows at one instant, keyed by metric name.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
+/// A process-wide table of named metrics. Lookup by name takes a mutex;
+/// call sites cache the returned pointer (metrics live for the registry's
+/// lifetime), after which recording is lock-free:
+///
+///   static Counter* probes =
+///       MetricsRegistry::Global().counter("exec.candidates_probed");
+///   probes->Inc();
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Finds or creates. The pointer stays valid for the registry's life.
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  /// `bounds` applies only on first creation; empty means the default
+  /// millisecond-latency edges.
+  Histogram* histogram(const std::string& name,
+                       std::vector<double> bounds = {});
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every metric (tests). Registered metrics stay registered.
+  void ResetAll();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Renders a snapshot as one JSON object:
+///   {"counters":{...},"gauges":{...},
+///    "histograms":{"name":{"count":..,"sum":..,"min":..,"max":..,
+///                          "mean":..,"p50":..,"p99":..,
+///                          "bounds":[..],"buckets":[..]}}}
+std::string MetricsToJson(const MetricsSnapshot& snapshot);
+
+}  // namespace flexpath
+
+#endif  // FLEXPATH_COMMON_METRICS_H_

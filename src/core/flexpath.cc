@@ -1,10 +1,21 @@
 #include "core/flexpath.h"
 
+#include <chrono>
 #include <fstream>
 #include <sstream>
 #include <utility>
 
 namespace flexpath {
+
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
 
 FlexPath::FlexPath(TokenizerOptions tokenizer_opts)
     : tokenizer_opts_(tokenizer_opts) {}
@@ -15,7 +26,17 @@ Result<DocId> FlexPath::AddDocumentXml(std::string_view xml) {
   if (built_) {
     return Status::InvalidArgument("cannot add documents after Build()");
   }
-  return corpus_.AddXml(xml);
+  static Histogram* m_parse =
+      MetricsRegistry::Global().histogram("build.parse_ms");
+  static Counter* m_docs =
+      MetricsRegistry::Global().counter("build.documents_parsed");
+  const auto start = std::chrono::steady_clock::now();
+  Result<DocId> id = corpus_.AddXml(xml);
+  if (id.ok()) {
+    m_parse->Observe(MsSince(start));
+    m_docs->Inc();
+  }
+  return id;
 }
 
 Result<DocId> FlexPath::AddDocumentFile(const std::string& path) {
@@ -37,12 +58,33 @@ Status FlexPath::Build() {
   if (corpus_.size() == 0) {
     return Status::InvalidArgument("no documents added");
   }
-  element_index_ = std::make_unique<ElementIndex>(
-      &corpus_, hierarchy_.empty() ? nullptr : &hierarchy_);
-  stats_ = std::make_unique<DocumentStats>(&corpus_);
-  ir_ = std::make_unique<IrEngine>(&corpus_, tokenizer_opts_);
+  TraceCollector collector("build");
+  collector.current()->Annotate("documents",
+                                static_cast<uint64_t>(corpus_.size()));
+  collector.current()->Annotate("elements",
+                                static_cast<uint64_t>(corpus_.TotalNodes()));
+  {
+    Span span(&collector, "element_index");
+    element_index_ = std::make_unique<ElementIndex>(
+        &corpus_, hierarchy_.empty() ? nullptr : &hierarchy_);
+  }
+  {
+    Span span(&collector, "document_stats");
+    stats_ = std::make_unique<DocumentStats>(&corpus_);
+  }
+  {
+    Span span(&collector, "ir_engine");
+    ir_ = std::make_unique<IrEngine>(&corpus_, tokenizer_opts_);
+  }
   processor_ = std::make_unique<TopKProcessor>(element_index_.get(),
                                                stats_.get(), ir_.get());
+  QueryTrace trace = collector.Finish();
+  static Histogram* m_build =
+      MetricsRegistry::Global().histogram("build.total_ms");
+  static Counter* m_builds = MetricsRegistry::Global().counter("build.count");
+  m_build->Observe(trace.root.elapsed_ms);
+  m_builds->Inc();
+  build_trace_ = std::make_shared<const QueryTrace>(std::move(trace));
   built_ = true;
   return Status::OK();
 }
@@ -101,6 +143,10 @@ void FlexPath::ExpandContains(Tpq* q) const {
 
 std::string FlexPath::Describe(const Tpq& q) const {
   return q.ToString(corpus_.tags());
+}
+
+std::string FlexPath::MetricsJson() const {
+  return MetricsToJson(MetricsRegistry::Global().Snapshot());
 }
 
 }  // namespace flexpath

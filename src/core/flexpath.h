@@ -6,7 +6,9 @@
 #include <string_view>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "exec/topk.h"
 #include "ir/engine.h"
 #include "ir/thesaurus.h"
@@ -100,6 +102,22 @@ class FlexPath {
   IrEngine* ir_engine() { return ir_.get(); }
   bool built() const { return built_; }
 
+  // --- Observability ----------------------------------------------------
+
+  /// The process-wide metrics registry (counters, gauges, latency
+  /// histograms recorded by every pipeline stage).
+  MetricsRegistry& metrics() const { return MetricsRegistry::Global(); }
+
+  /// One JSON object with a snapshot of every metric; see MetricsToJson()
+  /// in common/metrics.h for the schema.
+  std::string MetricsJson() const;
+
+  /// Phase-by-phase trace of the last Build() call (element index,
+  /// statistics, IR engine); null before Build().
+  std::shared_ptr<const QueryTrace> build_trace() const {
+    return build_trace_;
+  }
+
  private:
   /// Applies the thesaurus to every contains predicate of `q` in place.
   void ExpandContains(Tpq* q) const;
@@ -113,6 +131,7 @@ class FlexPath {
   std::unique_ptr<DocumentStats> stats_;
   std::unique_ptr<IrEngine> ir_;
   std::unique_ptr<TopKProcessor> processor_;
+  std::shared_ptr<const QueryTrace> build_trace_;
 };
 
 }  // namespace flexpath

@@ -8,6 +8,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
+
 namespace flexpath {
 
 namespace {
@@ -99,9 +101,11 @@ void ExecCounters::Add(const ExecCounters& other) {
 
 std::vector<RankedAnswer> PlanEvaluator::Evaluate(
     const JoinPlan& plan, EvalMode mode, size_t k, RankScheme scheme,
-    double exact_penalty, ExecCounters* counters) {
-  ExecCounters local;
-  ExecCounters& ctr = counters != nullptr ? *counters : local;
+    double exact_penalty, ExecCounters* counters, TraceCollector* trace) {
+  // Work is tallied locally, then folded into the caller's counters and
+  // the global registry — so per-call deltas are exact even when the
+  // caller accumulates across plan passes.
+  ExecCounters ctr;
   ++ctr.plan_passes;
 
   const Corpus& corpus = index_->corpus();
@@ -111,10 +115,18 @@ std::vector<RankedAnswer> PlanEvaluator::Evaluate(
   // Resolve every contains expression the plan can mention (original
   // query expressions; promoted predicates reuse the same keys).
   std::unordered_map<std::string, const ContainsResult*> contains_results;
-  for (VarId v : plan.query().Vars()) {
-    for (const FtExpr& e : plan.query().node(v).contains) {
-      assert(ir_ != nullptr && "plan has contains but no IR engine");
-      contains_results.emplace(e.ToString(), ir_->Evaluate(e));
+  {
+    Span resolve_span(trace, "resolve_contains");
+    for (VarId v : plan.query().Vars()) {
+      for (const FtExpr& e : plan.query().node(v).contains) {
+        assert(ir_ != nullptr && "plan has contains but no IR engine");
+        Span probe_span(trace, "ir_probe");
+        const ContainsResult* result = ir_->Evaluate(e);
+        probe_span.Annotate("expr", e.ToString());
+        probe_span.Annotate("satisfying",
+                            static_cast<uint64_t>(result->satisfying().size()));
+        contains_results.emplace(e.ToString(), result);
+      }
     }
   }
 
@@ -179,6 +191,9 @@ std::vector<RankedAnswer> PlanEvaluator::Evaluate(
   std::vector<Tuple> tuples;
   {
     const PlanStep& step0 = steps[0];
+    Span scan_span(trace, "scan_step");
+    scan_span.Annotate("step", uint64_t{0});
+    scan_span.Annotate("tag", corpus.tags().Name(step0.tag));
     for (NodeRef ref : index_->Scan(step0.tag)) {
       ++ctr.candidates_probed;
       if (!attrs_ok(step0, ref)) continue;
@@ -201,6 +216,8 @@ std::vector<RankedAnswer> PlanEvaluator::Evaluate(
       tuples.push_back(std::move(t));
     }
     DominancePrune(plan.LiveSteps(0), &tuples);
+    scan_span.Annotate("candidates", ctr.candidates_probed);
+    scan_span.Annotate("tuples_out", static_cast<uint64_t>(tuples.size()));
   }
 
   // Pruning-threshold helper: the k-th best guaranteed (lower-bound)
@@ -237,6 +254,13 @@ std::vector<RankedAnswer> PlanEvaluator::Evaluate(
   for (size_t s = 1; s < steps.size(); ++s) {
     const PlanStep& step = steps[s];
     const std::vector<NodeRef>& scan = index_->Scan(step.tag);
+
+    Span step_span(trace, "join_step");
+    step_span.Annotate("step", static_cast<uint64_t>(s));
+    step_span.Annotate("tag", corpus.tags().Name(step.tag));
+    step_span.Annotate("tuples_in", static_cast<uint64_t>(tuples.size()));
+    const uint64_t candidates_before = ctr.candidates_probed;
+    const uint64_t pruned_before = ctr.tuples_pruned;
 
     double bound = -std::numeric_limits<double>::infinity();
     if (prune) bound = prune_bound(tuples, s - 1);
@@ -309,23 +333,31 @@ std::vector<RankedAnswer> PlanEvaluator::Evaluate(
       // Group by violation mask; within a bucket tuples share their score
       // and stay in document order, so per-bucket processing needs no
       // sorting and whole buckets can be skipped against the bound.
+      Span bucket_span(trace, "bucket_merge");
       std::map<uint64_t, std::vector<const Tuple*>> buckets;
       for (const Tuple& t : tuples) buckets[t.mask].push_back(&t);
       ctr.buckets_peak = std::max<uint64_t>(ctr.buckets_peak, buckets.size());
+      uint64_t buckets_skipped = 0;
       for (const auto& [mask, members] : buckets) {
         const double upper = plan.base_score() - plan.PenaltyOfMask(mask) +
                              ks_bonus;
         if (prune && upper < bound) {
           ctr.tuples_pruned += members.size();
+          ++buckets_skipped;
           continue;
         }
         for (const Tuple* t : members) extend(*t, &out);
       }
+      bucket_span.Annotate("buckets",
+                           static_cast<uint64_t>(buckets.size()));
+      bucket_span.Annotate("buckets_skipped", buckets_skipped);
     } else {
       if (mode == EvalMode::kSsoFlat && prune && tuples.size() > k) {
         // SSO's tension: to apply the threshold it sorts the flat tuple
         // list by score, then must restore document order for the next
         // join. Both sorts are real costs we account for.
+        Span sort_span(trace, "score_sort");
+        sort_span.Annotate("items", static_cast<uint64_t>(tuples.size()));
         std::sort(tuples.begin(), tuples.end(),
                   [](const Tuple& a, const Tuple& b) {
                     return a.penalty < b.penalty;
@@ -343,9 +375,14 @@ std::vector<RankedAnswer> PlanEvaluator::Evaluate(
     }
     DominancePrune(plan.LiveSteps(s), &out);
     tuples = std::move(out);
+    step_span.Annotate("candidates", ctr.candidates_probed - candidates_before);
+    step_span.Annotate("pruned", ctr.tuples_pruned - pruned_before);
+    step_span.Annotate("tuples_out", static_cast<uint64_t>(tuples.size()));
   }
 
   // --- Finalize: keyword scores, dedup, sort. ---------------------------
+  Span finalize_span(trace, "finalize");
+  finalize_span.Annotate("tuples", static_cast<uint64_t>(tuples.size()));
   std::unordered_map<NodeRef, AnswerScore, NodeRefHash> best;
   for (const Tuple& t : tuples) {
     AnswerScore score;
@@ -385,6 +422,27 @@ std::vector<RankedAnswer> PlanEvaluator::Evaluate(
               if (RanksBefore(b.score, a.score, scheme)) return false;
               return a.node < b.node;  // deterministic tie-break
             });
+  finalize_span.Annotate("answers", static_cast<uint64_t>(answers.size()));
+  finalize_span.Close();
+
+  if (counters != nullptr) counters->Add(ctr);
+  // Mirror the work into the process-wide registry (pointers cached once;
+  // one relaxed add per field per plan pass).
+  static MetricsRegistry& reg = MetricsRegistry::Global();
+  static Counter* m_passes = reg.counter("exec.plan_passes");
+  static Counter* m_probed = reg.counter("exec.candidates_probed");
+  static Counter* m_created = reg.counter("exec.tuples_created");
+  static Counter* m_pruned = reg.counter("exec.tuples_pruned");
+  static Counter* m_sorts = reg.counter("exec.score_sorts");
+  static Counter* m_sorted = reg.counter("exec.score_sorted_items");
+  static Gauge* m_buckets = reg.gauge("exec.buckets_peak");
+  m_passes->Inc(ctr.plan_passes);
+  m_probed->Inc(ctr.candidates_probed);
+  m_created->Inc(ctr.tuples_created);
+  m_pruned->Inc(ctr.tuples_pruned);
+  m_sorts->Inc(ctr.score_sorts);
+  m_sorted->Inc(ctr.score_sorted_items);
+  m_buckets->Max(static_cast<int64_t>(ctr.buckets_peak));
   return answers;
 }
 

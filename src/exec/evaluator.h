@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/trace.h"
 #include "exec/plan.h"
 #include "ir/engine.h"
 #include "rank/score.h"
@@ -23,7 +24,22 @@ struct ExecCounters {
   uint64_t score_sorted_items = 0; ///< Total items passed through them.
   uint64_t buckets_peak = 0;       ///< Max live buckets (Hybrid).
 
+  /// Accumulates `other` into this: sums every count, maxes buckets_peak.
   void Add(const ExecCounters& other);
+
+  /// Calls fn(name, value) for every field, in declaration order — the
+  /// single source of truth for exporting counters (trace annotations,
+  /// bench JSON lines, metrics).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    fn("plan_passes", plan_passes);
+    fn("candidates_probed", candidates_probed);
+    fn("tuples_created", tuples_created);
+    fn("tuples_pruned", tuples_pruned);
+    fn("score_sorts", score_sorts);
+    fn("score_sorted_items", score_sorted_items);
+    fn("buckets_peak", buckets_peak);
+  }
 };
 
 /// How the evaluator manages intermediate results (Section 5.2):
@@ -31,10 +47,10 @@ struct ExecCounters {
 ///    predicates, no pruning. One DPO round.
 ///  - kSsoFlat: optional predicates encoded; intermediate tuples kept in
 ///    one list that is sorted by score to find the pruning threshold
-///    after every join step — SSO, with the score/id sort tension.
+///    after every join step: SSO, with the score/id sort tension.
 ///  - kHybridBuckets: tuples grouped into buckets by violation mask; each
 ///    bucket is score-homogeneous and stays in document order, so no
-///    score sorting ever happens — Hybrid (Section 5.2.3).
+///    score sorting ever happens: Hybrid (Section 5.2.3).
 enum class EvalMode : uint8_t {
   kExact,
   kSsoFlat,
@@ -55,11 +71,14 @@ class PlanEvaluator {
   ///   `exact_penalty` — kExact only: the uniform structural penalty of
   ///                     this relaxation round (DPO scores all of a
   ///                     round's answers identically, Section 5.2.1).
-  /// `counters` may be null.
+  /// `counters` may be null. `trace`, when non-null, receives one span
+  /// per pipeline stage (contains resolution, each join step, sorts,
+  /// finalize) annotated with that stage's work.
   std::vector<RankedAnswer> Evaluate(const JoinPlan& plan, EvalMode mode,
                                      size_t k, RankScheme scheme,
                                      double exact_penalty,
-                                     ExecCounters* counters);
+                                     ExecCounters* counters,
+                                     TraceCollector* trace = nullptr);
 
  private:
   const ElementIndex* index_;

@@ -1,9 +1,13 @@
 #include "exec/topk.h"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
+#include <optional>
 #include <unordered_set>
 
+#include "common/metrics.h"
+#include "common/string_util.h"
 #include "relax/schedule.h"
 
 namespace flexpath {
@@ -24,6 +28,16 @@ void SortByScheme(std::vector<RankedAnswer>* answers, RankScheme scheme) {
               if (RanksBefore(b.score, a.score, scheme)) return false;
               return a.node < b.node;
             });
+}
+
+/// Attaches one round's counter delta to its span, one annotation per
+/// field ("counters.<name>"), so traces carry the same quantities the
+/// result-level ExecCounters aggregate.
+void AnnotateCounters(Span* span, const ExecCounters& delta) {
+  if (!span->active()) return;
+  delta.ForEach([&](const char* name, uint64_t value) {
+    span->Annotate(std::string("counters.") + name, value);
+  });
 }
 
 }  // namespace
@@ -48,23 +62,73 @@ Result<TopKResult> TopKProcessor::Run(const Tpq& q, Algorithm algo,
     return Status::InvalidArgument(
         "query has contains predicates but no IR engine is attached");
   }
-  PenaltyModel pm(q, stats_, ir_, opts.weights);
-  switch (algo) {
-    case Algorithm::kDpo:
-      return RunDpo(q, opts, pm);
-    case Algorithm::kSso:
-      return RunEncoded(q, opts, pm, EvalMode::kSsoFlat);
-    case Algorithm::kHybrid:
-      return RunEncoded(q, opts, pm, EvalMode::kHybridBuckets);
+
+  const auto start = std::chrono::steady_clock::now();
+  std::optional<TraceCollector> collector;
+  if (opts.collect_trace) {
+    collector.emplace("query");
+    TraceSpan* root = collector->current();
+    root->Annotate("algorithm", std::string(AlgorithmName(algo)));
+    root->Annotate("k", static_cast<uint64_t>(opts.k));
+    root->Annotate("scheme", std::string(RankSchemeName(opts.scheme)));
+    root->Annotate("query", q.ToString(index_->corpus().tags()));
   }
-  return Status::InvalidArgument("unknown algorithm");
+  TraceCollector* trace = collector.has_value() ? &*collector : nullptr;
+
+  Result<TopKResult> result = [&]() -> Result<TopKResult> {
+    Span pm_span(trace, "penalty_model");
+    PenaltyModel pm(q, stats_, ir_, opts.weights);
+    pm_span.Close();
+    switch (algo) {
+      case Algorithm::kDpo:
+        return RunDpo(q, opts, pm, trace);
+      case Algorithm::kSso:
+        return RunEncoded(q, opts, pm, EvalMode::kSsoFlat, trace);
+      case Algorithm::kHybrid:
+        return RunEncoded(q, opts, pm, EvalMode::kHybridBuckets, trace);
+    }
+    return Status::InvalidArgument("unknown algorithm");
+  }();
+
+  static MetricsRegistry& reg = MetricsRegistry::Global();
+  static Counter* m_queries = reg.counter("query.count");
+  static Counter* m_errors = reg.counter("query.errors");
+  static Histogram* m_latency[3] = {
+      reg.histogram("query.latency_ms.dpo"),
+      reg.histogram("query.latency_ms.sso"),
+      reg.histogram("query.latency_ms.hybrid"),
+  };
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  m_queries->Inc();
+  if (!result.ok()) {
+    m_errors->Inc();
+    return result;
+  }
+  m_latency[static_cast<size_t>(algo)]->Observe(elapsed_ms);
+
+  if (trace != nullptr) {
+    TraceSpan* root = collector->current();
+    root->Annotate("relaxations_used",
+                   static_cast<uint64_t>(result->relaxations_used));
+    root->Annotate("answers", static_cast<uint64_t>(result->answers.size()));
+    result->trace =
+        std::make_shared<const QueryTrace>(collector->Finish());
+  }
+  return result;
 }
 
 Result<TopKResult> TopKProcessor::RunDpo(const Tpq& q,
                                          const TopKOptions& opts,
-                                         const PenaltyModel& pm) {
+                                         const PenaltyModel& pm,
+                                         TraceCollector* trace) {
   TopKResult result;
+  Span schedule_span(trace, "build_schedule");
   const std::vector<ScheduleEntry> schedule = BuildSchedule(q, pm);
+  schedule_span.Annotate("entries", static_cast<uint64_t>(schedule.size()));
+  schedule_span.Close();
 
   // Stopping rules per scheme (Section 5.1): structure-first stops as
   // soon as K answers exist; keyword-first must evaluate every
@@ -90,21 +154,49 @@ Result<TopKResult> TopKProcessor::RunDpo(const Tpq& q,
         BaseStructuralScore(q, opts.weights) - penalty < stop_below) {
       break;
     }
+    // Round 0 evaluates the unrelaxed query; every later span is one
+    // relaxation round proper, so a DPO trace carries exactly
+    // `relaxations_used` spans named "relaxation_round".
+    Span round_span(trace,
+                    round == 0 ? "initial_round" : "relaxation_round");
+    round_span.Annotate("round", static_cast<uint64_t>(round));
+    round_span.Annotate("penalty", penalty);
+    if (round > 0) {
+      const ScheduleEntry& entry = schedule[round - 1];
+      round_span.Annotate("op", entry.op.ToString());
+      round_span.Annotate("step_penalty", entry.step_penalty);
+      std::vector<std::string> dropped;
+      dropped.reserve(entry.dropped.size());
+      for (const Predicate& p : entry.dropped) {
+        dropped.push_back(p.ToString(&index_->corpus().tags()));
+      }
+      round_span.Annotate("dropped", Join(dropped, ", "));
+    }
+    Span build_span(trace, "plan_build");
     Result<JoinPlan> plan =
         JoinPlan::Build(q, relaxed, {}, pm, opts.weights);
+    build_span.Close();
     if (!plan.ok()) return plan.status();
+    ExecCounters round_counters;
     std::vector<RankedAnswer> round_answers = evaluator_.Evaluate(
         *plan, EvalMode::kExact, opts.k, opts.scheme, penalty,
-        &result.counters);
+        &round_counters, trace);
+    result.counters.Add(round_counters);
+    AnnotateCounters(&round_span, round_counters);
     // DPO appends: later rounds never outrank earlier ones
     // (structure-first), so no resorting — answers seen before keep
     // their earlier (higher) score.
+    size_t new_answers = 0;
     for (RankedAnswer& a : round_answers) {
       if (seen.insert(a.node).second) {
         result.answers.push_back(std::move(a));
+        ++new_answers;
       }
     }
     result.relaxations_used = round;
+    round_span.Annotate("new_answers", static_cast<uint64_t>(new_answers));
+    round_span.Annotate("answers_so_far",
+                        static_cast<uint64_t>(result.answers.size()));
     const bool have_k = result.answers.size() >= opts.k;
     if (opts.scheme == RankScheme::kStructureFirst && have_k) break;
     if (opts.scheme == RankScheme::kCombined && have_k &&
@@ -122,13 +214,18 @@ Result<TopKResult> TopKProcessor::RunDpo(const Tpq& q,
 Result<TopKResult> TopKProcessor::RunEncoded(const Tpq& q,
                                              const TopKOptions& opts,
                                              const PenaltyModel& pm,
-                                             EvalMode mode) {
+                                             EvalMode mode,
+                                             TraceCollector* trace) {
   TopKResult result;
+  Span schedule_span(trace, "build_schedule");
   const std::vector<ScheduleEntry> schedule = BuildSchedule(q, pm);
+  schedule_span.Annotate("entries", static_cast<uint64_t>(schedule.size()));
+  schedule_span.Close();
   SelectivityEstimator estimator(stats_, ir_);
 
   // Statically pick how many relaxations to encode (SSO lines 3-7): keep
   // adding the next-cheapest relaxation while the estimate is short of K.
+  Span estimate_span(trace, "selectivity_estimate");
   size_t encoded = 0;
   if (opts.scheme == RankScheme::kKeywordFirst) {
     // Keyword-first: any structural score can reach the top-K, so every
@@ -145,19 +242,41 @@ Result<TopKResult> TopKProcessor::RunEncoded(const Tpq& q,
       estimate = std::max(
           estimate, estimator.EstimateAnswers(schedule[encoded - 1].relaxed));
     }
+    estimate_span.Annotate("estimated_answers", estimate);
   }
+  estimate_span.Annotate("encoded", static_cast<uint64_t>(encoded));
+  estimate_span.Close();
 
   bool prune = true;
   for (;;) {
     const Tpq& relaxed = encoded == 0 ? q : schedule[encoded - 1].relaxed;
     const std::set<Predicate> dropped =
         encoded == 0 ? std::set<Predicate>{} : schedule[encoded - 1].dropped;
+    Span pass_span(trace, "encoded_pass");
+    pass_span.Annotate("encoded", static_cast<uint64_t>(encoded));
+    pass_span.Annotate("prune", prune ? "on" : "off");
+    if (pass_span.active() && !dropped.empty()) {
+      std::vector<std::string> names;
+      names.reserve(dropped.size());
+      for (const Predicate& p : dropped) {
+        names.push_back(p.ToString(&index_->corpus().tags()));
+      }
+      pass_span.Annotate("dropped", Join(names, ", "));
+    }
+    Span build_span(trace, "plan_build");
     Result<JoinPlan> plan =
         JoinPlan::Build(q, relaxed, dropped, pm, opts.weights);
+    build_span.Close();
     if (!plan.ok()) return plan.status();
     const uint64_t pruned_before = result.counters.tuples_pruned;
+    ExecCounters pass_counters;
     result.answers = evaluator_.Evaluate(*plan, mode, prune ? opts.k : 0,
-                                         opts.scheme, 0.0, &result.counters);
+                                         opts.scheme, 0.0, &pass_counters,
+                                         trace);
+    result.counters.Add(pass_counters);
+    AnnotateCounters(&pass_span, pass_counters);
+    pass_span.Annotate("answers",
+                       static_cast<uint64_t>(result.answers.size()));
     result.relaxations_used = encoded;
     if (result.answers.size() >= opts.k) break;
     // Fewer than K answers (SSO line 11). Two possible causes: the

@@ -1,9 +1,11 @@
 #ifndef FLEXPATH_EXEC_TOPK_H_
 #define FLEXPATH_EXEC_TOPK_H_
 
+#include <memory>
 #include <vector>
 
 #include "common/status.h"
+#include "common/trace.h"
 #include "exec/evaluator.h"
 #include "exec/selectivity.h"
 #include "ir/engine.h"
@@ -32,12 +34,19 @@ struct TopKOptions {
   size_t k = 10;
   RankScheme scheme = RankScheme::kStructureFirst;
   Weights weights;
+  /// When true, the run assembles a QueryTrace (returned via
+  /// TopKResult::trace): one span per relaxation round / encoded pass,
+  /// with plan-build, join-step and sort sub-spans. Off by default — the
+  /// disabled path costs one pointer test per would-be span.
+  bool collect_trace = false;
 };
 
 struct TopKResult {
   std::vector<RankedAnswer> answers;  ///< At most k, best first.
   ExecCounters counters;
   size_t relaxations_used = 0;  ///< Schedule steps evaluated/encoded.
+  /// Execution trace; null unless TopKOptions::collect_trace was set.
+  std::shared_ptr<const QueryTrace> trace;
 };
 
 /// Runs top-K queries against one indexed corpus. The FleXPath
@@ -61,9 +70,10 @@ class TopKProcessor {
 
  private:
   Result<TopKResult> RunDpo(const Tpq& q, const TopKOptions& opts,
-                            const PenaltyModel& pm);
+                            const PenaltyModel& pm, TraceCollector* trace);
   Result<TopKResult> RunEncoded(const Tpq& q, const TopKOptions& opts,
-                                const PenaltyModel& pm, EvalMode mode);
+                                const PenaltyModel& pm, EvalMode mode,
+                                TraceCollector* trace);
 
   const ElementIndex* index_;
   const DocumentStats* stats_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/metrics.h"
+
 namespace flexpath {
 
 namespace {
@@ -81,11 +83,21 @@ IrEngine::IrEngine(const Corpus* corpus, TokenizerOptions opts)
     : corpus_(corpus), index_(corpus, opts) {}
 
 const ContainsResult* IrEngine::Evaluate(const FtExpr& expr) {
+  static Counter* m_calls =
+      MetricsRegistry::Global().counter("ir.evaluate_calls");
+  static Counter* m_hits = MetricsRegistry::Global().counter("ir.cache_hits");
+  static Counter* m_satisfying =
+      MetricsRegistry::Global().counter("ir.satisfying_nodes");
+  m_calls->Inc();
   const std::string key = expr.ToString();
   auto it = cache_.find(key);
-  if (it != cache_.end()) return it->second.get();
+  if (it != cache_.end()) {
+    m_hits->Inc();
+    return it->second.get();
+  }
 
   std::vector<NodeRef> satisfying = SatisfyingSet(expr);
+  m_satisfying->Inc(satisfying.size());
 
   // Most-specific = entries whose immediate successor (the first
   // descendant in pre-order, if any) is not inside their interval.
@@ -167,11 +179,17 @@ std::vector<NodeRef> IrEngine::SatisfyingSet(const FtExpr& expr) const {
 }
 
 std::vector<NodeRef> IrEngine::DirectMatches(const FtExpr& expr) const {
+  static Counter* m_probes =
+      MetricsRegistry::Global().counter("ir.posting_probes");
+  static Counter* m_scanned =
+      MetricsRegistry::Global().counter("ir.postings_scanned");
+  m_probes->Inc();
   std::vector<NodeRef> out;
   if (expr.kind() == FtKind::kTerm) {
     if (expr.term().empty()) return out;  // normalized-away stopword
     const PostingList* list = index_.Find(expr.term());
     if (list == nullptr) return out;
+    m_scanned->Inc(list->postings.size());
     out.reserve(list->postings.size());
     for (const Posting& p : list->postings) out.push_back(p.node);
     return out;
@@ -186,6 +204,7 @@ std::vector<NodeRef> IrEngine::DirectMatches(const FtExpr& expr) const {
     if (list == nullptr) return out;
     lists.push_back(list);
   }
+  m_scanned->Inc(lists[0]->postings.size());
   // Walk the first list; probe the others.
   for (const Posting& first : lists[0]->postings) {
     std::vector<const Posting*> entry(words.size());

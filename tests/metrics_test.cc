@@ -1,0 +1,160 @@
+#include "common/metrics.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace flexpath {
+namespace {
+
+TEST(CounterTest, IncValueReset) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Inc();
+  c.Inc(41);
+  EXPECT_EQ(c.Value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0u);
+}
+
+TEST(GaugeTest, SetAddMax) {
+  Gauge g;
+  g.Set(10);
+  EXPECT_EQ(g.Value(), 10);
+  g.Add(-3);
+  EXPECT_EQ(g.Value(), 7);
+  g.Max(5);  // Below current: no change.
+  EXPECT_EQ(g.Value(), 7);
+  g.Max(100);
+  EXPECT_EQ(g.Value(), 100);
+  g.Reset();
+  EXPECT_EQ(g.Value(), 0);
+}
+
+TEST(HistogramTest, BucketingRoutesToInclusiveUpperEdge) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.Observe(0.5);    // bucket 0 (<= 1).
+  h.Observe(1.0);    // bucket 0: edges are inclusive.
+  h.Observe(2.0);    // bucket 1.
+  h.Observe(100.0);  // bucket 2.
+  h.Observe(500.0);  // overflow bucket.
+
+  HistogramSnapshot s = h.Snapshot();
+  ASSERT_EQ(s.bounds.size(), 3u);
+  ASSERT_EQ(s.counts.size(), 4u);  // 3 edges + overflow.
+  EXPECT_EQ(s.counts[0], 2u);
+  EXPECT_EQ(s.counts[1], 1u);
+  EXPECT_EQ(s.counts[2], 1u);
+  EXPECT_EQ(s.counts[3], 1u);
+}
+
+TEST(HistogramTest, SnapshotAggregates) {
+  Histogram h({1.0, 10.0});
+  h.Observe(0.5);
+  h.Observe(4.0);
+  h.Observe(7.5);
+  HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.sum, 12.0);
+  EXPECT_DOUBLE_EQ(s.min, 0.5);
+  EXPECT_DOUBLE_EQ(s.max, 7.5);
+  EXPECT_DOUBLE_EQ(s.Mean(), 4.0);
+}
+
+TEST(HistogramTest, EmptySnapshotIsZero) {
+  Histogram h({1.0});
+  HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, QuantileInterpolatesAndIsMonotonic) {
+  Histogram h({10.0, 20.0, 30.0});
+  // 10 observations spread evenly through bucket 1 (10, 20].
+  for (int i = 0; i < 10; ++i) h.Observe(15.0);
+  HistogramSnapshot s = h.Snapshot();
+  // All mass in one bucket: every quantile lands inside its edges.
+  const double p50 = s.Quantile(0.5);
+  EXPECT_GE(p50, 10.0);
+  EXPECT_LE(p50, 20.0);
+  EXPECT_LE(s.Quantile(0.25), s.Quantile(0.75));
+  EXPECT_LE(s.Quantile(0.0), s.Quantile(1.0));
+}
+
+TEST(HistogramTest, OverflowQuantileStaysWithinObservedRange) {
+  Histogram h({1.0, 2.0});
+  h.Observe(1000.0);
+  const double p99 = h.Snapshot().Quantile(0.99);
+  EXPECT_GE(p99, 2.0);      // At least the top finite edge...
+  EXPECT_LE(p99, 1000.0);   // ...but never past what was observed.
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h({1.0});
+  h.Observe(0.5);
+  h.Reset();
+  HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.counts[0], 0u);
+}
+
+TEST(HistogramTest, DefaultLatencyBoundsAreStrictlyIncreasing) {
+  const std::vector<double> bounds = Histogram::DefaultLatencyBoundsMs();
+  ASSERT_GE(bounds.size(), 2u);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]) << "at index " << i;
+  }
+}
+
+TEST(MetricsRegistryTest, FindOrCreateReturnsStablePointers) {
+  MetricsRegistry reg;
+  Counter* a = reg.counter("test.counter");
+  Counter* b = reg.counter("test.counter");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(reg.counter("test.other"), a);
+  EXPECT_EQ(reg.gauge("test.gauge"), reg.gauge("test.gauge"));
+  EXPECT_EQ(reg.histogram("test.hist"), reg.histogram("test.hist"));
+}
+
+TEST(MetricsRegistryTest, SnapshotAndResetAll) {
+  MetricsRegistry reg;
+  reg.counter("c")->Inc(3);
+  reg.gauge("g")->Set(-7);
+  reg.histogram("h", {1.0})->Observe(0.5);
+
+  MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.counters.at("c"), 3u);
+  EXPECT_EQ(snap.gauges.at("g"), -7);
+  EXPECT_EQ(snap.histograms.at("h").count, 1u);
+
+  reg.ResetAll();
+  snap = reg.Snapshot();
+  EXPECT_EQ(snap.counters.at("c"), 0u);  // Still registered, now zero.
+  EXPECT_EQ(snap.gauges.at("g"), 0);
+  EXPECT_EQ(snap.histograms.at("h").count, 0u);
+}
+
+TEST(MetricsRegistryTest, GlobalIsASingleton) {
+  EXPECT_EQ(&MetricsRegistry::Global(), &MetricsRegistry::Global());
+}
+
+TEST(MetricsJsonTest, RendersAllSections) {
+  MetricsRegistry reg;
+  reg.counter("queries")->Inc(2);
+  reg.gauge("depth")->Set(5);
+  reg.histogram("lat", {1.0, 10.0})->Observe(3.0);
+
+  const std::string json = MetricsToJson(reg.Snapshot());
+  EXPECT_NE(json.find("\"counters\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"queries\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"depth\":5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"bounds\""), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace flexpath
