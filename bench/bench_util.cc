@@ -5,7 +5,8 @@
 #include <cstdlib>
 #include <map>
 
-#include "common/string_util.h"
+#include "common/json_util.h"
+#include "common/metrics.h"
 #include "query/xpath_parser.h"
 #include "xmark/generator.h"
 
@@ -89,7 +90,7 @@ TopKResult RunTopK(Fixture& fixture, const Tpq& q, Algorithm algo, size_t k,
 void EmitJsonLine(const std::string& bench, const char* algorithm, size_t k,
                   uint64_t corpus_bytes, double elapsed_ms,
                   const ExecCounters& counters, size_t relaxations,
-                  size_t answers) {
+                  size_t answers, const std::string* metrics_json) {
   std::string line = "{\"bench\":\"";
   line += JsonEscape(bench);
   line += "\",\"algorithm\":\"";
@@ -111,22 +112,39 @@ void EmitJsonLine(const std::string& bench, const char* algorithm, size_t k,
     line += name;
     line += "\":" + std::to_string(value);
   });
-  line += "}}";
+  line += '}';
+  if (metrics_json != nullptr) {
+    line += ",\"metrics\":" + *metrics_json;
+  }
+  line += '}';
   std::fprintf(stderr, "%s\n", line.c_str());
 }
 
 TopKResult EmitTopKRunJson(const std::string& bench, Fixture& fixture,
                            const Tpq& q, Algorithm algo, size_t k,
                            RankScheme scheme) {
+  // Zero the process-wide registry so the emitted line (and an embedded
+  // metrics snapshot) reflects this run alone, not every configuration
+  // the bench binary executed before it.
+  MetricsRegistry::Global().ResetAll();
   const auto start = std::chrono::steady_clock::now();
   TopKResult result = RunTopK(fixture, q, algo, k, scheme);
   const double elapsed_ms =
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - start)
           .count();
-  EmitJsonLine(bench, AlgorithmName(algo), k, fixture.target_bytes,
-               elapsed_ms, result.counters, result.relaxations_used,
-               result.answers.size());
+  const char* want_metrics = std::getenv("FLEXPATH_BENCH_METRICS");
+  if (want_metrics != nullptr && want_metrics[0] == '1') {
+    const std::string metrics =
+        MetricsToJson(MetricsRegistry::Global().Snapshot());
+    EmitJsonLine(bench, AlgorithmName(algo), k, fixture.target_bytes,
+                 elapsed_ms, result.counters, result.relaxations_used,
+                 result.answers.size(), &metrics);
+  } else {
+    EmitJsonLine(bench, AlgorithmName(algo), k, fixture.target_bytes,
+                 elapsed_ms, result.counters, result.relaxations_used,
+                 result.answers.size());
+  }
   return result;
 }
 

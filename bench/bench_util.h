@@ -67,14 +67,20 @@ TopKResult RunTopK(Fixture& fixture, const Tpq& q, Algorithm algo, size_t k,
 ///   {"bench":"fig10/DPO","algorithm":"DPO","k":600,"corpus_bytes":...,
 ///    "elapsed_ms":...,"relaxations_used":...,"answers":...,
 ///    "counters":{"plan_passes":...,...all ExecCounters fields...}}
+/// When `metrics_json` is non-null, its content is appended verbatim as a
+/// final "metrics" field (a MetricsToJson snapshot of the run).
 void EmitJsonLine(const std::string& bench, const char* algorithm, size_t k,
                   uint64_t corpus_bytes, double elapsed_ms,
                   const ExecCounters& counters, size_t relaxations,
-                  size_t answers);
+                  size_t answers, const std::string* metrics_json = nullptr);
 
 /// Times one un-instrumented top-K run and emits its JSON line. Call once
 /// per benchmark case, after the google-benchmark timing loop, so every
 /// `BENCH_*` invocation leaves a mechanical record of what it measured.
+/// The global MetricsRegistry is reset before the run, so per-run lines
+/// never accumulate counters across configurations; set
+/// FLEXPATH_BENCH_METRICS=1 to embed the run's metrics snapshot in the
+/// line as a "metrics" field.
 TopKResult EmitTopKRunJson(const std::string& bench, Fixture& fixture,
                            const Tpq& q, Algorithm algo, size_t k,
                            RankScheme scheme = RankScheme::kStructureFirst);

@@ -21,8 +21,18 @@
 //   :synonym A B               register B as a synonym of A
 //   :subtype SUPER SUB         declare SUB a subtype of SUPER (pre-Build
 //                              only, so available via --prelude)
-//   :stats                     corpus statistics
+//   :stats                     corpus + per-query-shape statistics
+//   :slowlog                   slow-query log (see --slow-query-ms)
 //   :help / :quit
+//
+// Observability flags:
+//   --log-json                 structured logs as JSON lines on stderr
+//   --log-level LEVEL          trace|debug|info|warn|error|off
+//   --slow-query-ms N          queries at least N ms slow are logged at
+//                              WARN and appended (with their trace) to
+//                              the slow-query log
+//   --metrics-prom             print a Prometheus text exposition of all
+//                              metrics on exit (stdout)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -30,6 +40,7 @@
 #include <sstream>
 #include <string>
 
+#include "common/log.h"
 #include "common/string_util.h"
 #include "core/flexpath.h"
 #include "query/logical.h"
@@ -45,6 +56,7 @@ struct CliState {
   size_t k = 10;
   flexpath::Algorithm algo = flexpath::Algorithm::kHybrid;
   flexpath::RankScheme scheme = flexpath::RankScheme::kStructureFirst;
+  double slow_query_ms = -1.0;  ///< Negative: slow-query log disabled.
 };
 
 void PrintHelp() {
@@ -56,7 +68,8 @@ void PrintHelp() {
       "  :explain <xpath>         closure, operators, schedule\n"
       "  :analyze <xpath>         run with tracing, print the span tree\n"
       "  :synonym A B             thesaurus entry (B relaxes A)\n"
-      "  :stats                   corpus statistics\n"
+      "  :stats                   corpus + per-query-shape statistics\n"
+      "  :slowlog                 slow-query log\n"
       "  :help, :quit\n");
 }
 
@@ -64,6 +77,7 @@ void RunQuery(CliState& state, const std::string& xpath) {
   flexpath::TopKOptions opts;
   opts.k = state.k;
   opts.scheme = state.scheme;
+  opts.slow_query_ms = state.slow_query_ms;
   flexpath::Result<std::vector<flexpath::QueryAnswer>> answers =
       state.fp.Query(xpath, opts, state.algo);
   if (!answers.ok()) {
@@ -120,6 +134,7 @@ int ExplainAnalyze(CliState& state, const std::string& xpath,
   flexpath::TopKOptions opts;
   opts.k = state.k;
   opts.scheme = state.scheme;
+  opts.slow_query_ms = state.slow_query_ms;
   opts.collect_trace = true;
   flexpath::Result<flexpath::TopKResult> result =
       state.fp.QueryTpq(*q, opts, state.algo);
@@ -146,6 +161,42 @@ void PrintStats(CliState& state) {
   std::printf("documents: %zu, elements: %zu, distinct tags: %zu\n",
               corpus.size(), corpus.TotalNodes(),
               std::as_const(corpus).tags().size());
+  const std::vector<flexpath::ShapeStatsSnapshot> shapes =
+      state.fp.query_stats()->Shapes();
+  if (shapes.empty()) return;
+  std::printf("\nquery shapes (%zu):\n", shapes.size());
+  std::printf("%-16s %6s %4s %9s %9s %6s %7s %8s  %s\n", "fingerprint",
+              "execs", "errs", "p50ms", "p99ms", "relax", "dropped",
+              "penalty", "query");
+  for (const flexpath::ShapeStatsSnapshot& s : shapes) {
+    std::printf("%-16s %6llu %4llu %9.3f %9.3f %6.2f %7.2f %8.3f  %.60s\n",
+                flexpath::FingerprintHex(s.fingerprint).c_str(),
+                static_cast<unsigned long long>(s.executions),
+                static_cast<unsigned long long>(s.errors),
+                s.latency_ms.Quantile(0.5), s.latency_ms.Quantile(0.99),
+                s.MeanRelaxations(), s.MeanPredicatesDropped(),
+                s.MeanPenalty(), s.example_query.c_str());
+  }
+}
+
+void PrintSlowLog(CliState& state) {
+  const std::vector<flexpath::SlowQueryEntry> entries =
+      state.fp.query_stats()->SlowLog();
+  if (entries.empty()) {
+    std::printf("(slow-query log empty%s)\n",
+                state.slow_query_ms < 0.0 ? "; enable with --slow-query-ms"
+                                          : "");
+    return;
+  }
+  for (const flexpath::SlowQueryEntry& e : entries) {
+    std::printf("%.3fms (threshold %.3fms) %s [%s] %s\n",
+                e.execution.latency_ms, e.threshold_ms,
+                flexpath::FingerprintHex(e.execution.fingerprint).c_str(),
+                e.execution.algorithm.c_str(), e.execution.query.c_str());
+    if (e.trace != nullptr) {
+      std::printf("%s", flexpath::TraceToText(*e.trace).c_str());
+    }
+  }
 }
 
 int Repl(CliState& state) {
@@ -220,6 +271,8 @@ int Repl(CliState& state) {
       }
     } else if (cmd == ":stats") {
       PrintStats(state);
+    } else if (cmd == ":slowlog") {
+      PrintSlowLog(state);
     } else {
       std::printf("unknown command %s (:help)\n", cmd.c_str());
     }
@@ -232,9 +285,31 @@ int Repl(CliState& state) {
 int main(int argc, char** argv) {
   CliState state;
   bool loaded = false;
+  bool metrics_prom = false;
   const char* explain_query = nullptr;
   bool explain_json = false;
   for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--log-json") == 0) {
+      flexpath::Logger::Global().SetJsonOutput(true);
+      continue;
+    }
+    if (std::strcmp(argv[i], "--log-level") == 0 && i + 1 < argc) {
+      flexpath::LogLevel level;
+      if (!flexpath::ParseLogLevel(argv[++i], &level)) {
+        std::fprintf(stderr, "unknown log level %s\n", argv[i]);
+        return 2;
+      }
+      flexpath::Logger::Global().SetLevel(level);
+      continue;
+    }
+    if (std::strcmp(argv[i], "--slow-query-ms") == 0 && i + 1 < argc) {
+      state.slow_query_ms = std::atof(argv[++i]);
+      continue;
+    }
+    if (std::strcmp(argv[i], "--metrics-prom") == 0) {
+      metrics_prom = true;
+      continue;
+    }
     if (std::strcmp(argv[i], "--explain") == 0 ||
         std::strcmp(argv[i], "--explain-json") == 0) {
       if (i + 1 >= argc) {
@@ -271,9 +346,12 @@ int main(int argc, char** argv) {
   if (!loaded) {
     std::fprintf(stderr,
                  "usage: %s [--xmark MB] [--explain \"<xpath>\"] "
-                 "[--explain-json \"<xpath>\"] [file.xml ...]\n"
+                 "[--explain-json \"<xpath>\"] [--log-json] "
+                 "[--log-level L] [--slow-query-ms N] [--metrics-prom] "
+                 "[file.xml ...]\n"
                  "loads documents, then starts an interactive shell;\n"
-                 "--explain runs one traced query and exits\n",
+                 "--explain runs one traced query and exits;\n"
+                 "--metrics-prom prints Prometheus metrics on exit\n",
                  argv[0]);
     return 2;
   }
@@ -281,9 +359,15 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "build failed: %s\n", st.ToString().c_str());
     return 1;
   }
+  int rc = 0;
   if (explain_query != nullptr) {
-    return ExplainAnalyze(state, explain_query, explain_json);
+    rc = ExplainAnalyze(state, explain_query, explain_json);
+  } else {
+    PrintStats(state);
+    rc = Repl(state);
   }
-  PrintStats(state);
-  return Repl(state);
+  if (metrics_prom) {
+    std::printf("%s", state.fp.MetricsPrometheus().c_str());
+  }
+  return rc;
 }

@@ -1,0 +1,21 @@
+#ifndef FLEXPATH_COMMON_JSON_UTIL_H_
+#define FLEXPATH_COMMON_JSON_UTIL_H_
+
+#include <string>
+#include <string_view>
+
+namespace flexpath {
+
+/// Escapes `s` for embedding in a JSON string literal (quotes, backslash,
+/// control characters). Shared by every JSON renderer in the library
+/// (traces, metrics, query stats, bench lines).
+std::string JsonEscape(std::string_view s);
+
+/// Shortest rendering of a double that round-trips exactly: tries %g and
+/// falls back to %.17g when the short form loses precision. Suitable for
+/// JSON number values.
+std::string FormatDouble(double v);
+
+}  // namespace flexpath
+
+#endif  // FLEXPATH_COMMON_JSON_UTIL_H_

@@ -4,23 +4,11 @@
 #include <cassert>
 #include <cstdio>
 
+#include "common/json_util.h"
+
 namespace flexpath {
 
 namespace {
-
-/// Shortest round-trippable rendering of a double for JSON output.
-std::string FormatDouble(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  // Prefer the shorter %g form when it round-trips exactly.
-  char shorter[64];
-  std::snprintf(shorter, sizeof(shorter), "%g", v);
-  double back = 0.0;
-  if (std::sscanf(shorter, "%lf", &back) == 1 && back == v) {
-    return shorter;
-  }
-  return buf;
-}
 
 void AtomicMin(std::atomic<double>* a, double v) {
   double cur = a->load(std::memory_order_relaxed);
@@ -167,7 +155,7 @@ std::string MetricsToJson(const MetricsSnapshot& snapshot) {
     if (!first) out += ',';
     first = false;
     out += '"';
-    out += name;  // metric names are library-chosen identifiers.
+    out += JsonEscape(name);
     out += "\":";
     out += std::to_string(value);
   }
@@ -177,7 +165,7 @@ std::string MetricsToJson(const MetricsSnapshot& snapshot) {
     if (!first) out += ',';
     first = false;
     out += '"';
-    out += name;
+    out += JsonEscape(name);
     out += "\":";
     out += std::to_string(value);
   }
@@ -187,7 +175,7 @@ std::string MetricsToJson(const MetricsSnapshot& snapshot) {
     if (!first) out += ',';
     first = false;
     out += '"';
-    out += name;
+    out += JsonEscape(name);
     out += "\":{\"count\":" + std::to_string(h.count);
     out += ",\"sum\":" + FormatDouble(h.sum);
     out += ",\"min\":" + FormatDouble(h.min);
@@ -208,6 +196,82 @@ std::string MetricsToJson(const MetricsSnapshot& snapshot) {
     out += "]}";
   }
   out += "}}";
+  return out;
+}
+
+namespace {
+
+/// Prometheus metric names admit [a-zA-Z0-9_:]; we map everything else
+/// (the library's '.' separators in particular) to '_'.
+std::string PromName(std::string_view prefix, std::string_view name) {
+  std::string out;
+  out.reserve(prefix.size() + name.size() + 1);
+  out += prefix;
+  if (!prefix.empty()) out += '_';
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+/// HELP text escaping: backslash and newline only (the exposition format's
+/// rule for HELP lines).
+std::string PromHelpEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+void PromHeader(std::string* out, const std::string& name,
+                std::string_view original, const char* type) {
+  *out += "# HELP " + name + " FleXPath metric " + PromHelpEscape(original) +
+          "\n";
+  *out += "# TYPE " + name + " ";
+  *out += type;
+  *out += '\n';
+}
+
+}  // namespace
+
+std::string MetricsToPrometheus(const MetricsSnapshot& snapshot,
+                                std::string_view prefix) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    // Prometheus convention: counter sample names end in _total.
+    std::string prom = PromName(prefix, name) + "_total";
+    PromHeader(&out, prom, name, "counter");
+    out += prom + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    std::string prom = PromName(prefix, name);
+    PromHeader(&out, prom, name, "gauge");
+    out += prom + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    std::string prom = PromName(prefix, name);
+    PromHeader(&out, prom, name, "histogram");
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < h.counts.size(); ++i) {
+      cumulative += h.counts[i];
+      const std::string le =
+          i < h.bounds.size() ? FormatDouble(h.bounds[i]) : "+Inf";
+      out += prom + "_bucket{le=\"" + le + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += prom + "_sum " + FormatDouble(h.sum) + "\n";
+    out += prom + "_count " + std::to_string(h.count) + "\n";
+  }
   return out;
 }
 

@@ -137,6 +137,16 @@ class MetricsRegistry {
 ///                          "bounds":[..],"buckets":[..]}}}
 std::string MetricsToJson(const MetricsSnapshot& snapshot);
 
+/// Renders a snapshot in the Prometheus text exposition format (0.0.4):
+/// HELP/TYPE lines per metric family, counters suffixed `_total`,
+/// histograms as cumulative `_bucket{le="..."}` series (ending with
+/// `le="+Inf"`) plus `_sum` and `_count`. Metric names are prefixed with
+/// `<prefix>_` and sanitized (every character outside [a-zA-Z0-9_]
+/// becomes '_'), so "query.latency_ms.dpo" with the default prefix
+/// exposes as "flexpath_query_latency_ms_dpo".
+std::string MetricsToPrometheus(const MetricsSnapshot& snapshot,
+                                std::string_view prefix = "flexpath");
+
 }  // namespace flexpath
 
 #endif  // FLEXPATH_COMMON_METRICS_H_

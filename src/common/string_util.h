@@ -29,10 +29,6 @@ std::string Join(const std::vector<std::string>& parts, std::string_view sep);
 /// Escapes the five XML special characters (& < > " ') for serialization.
 std::string XmlEscape(std::string_view s);
 
-/// Escapes `s` for embedding in a JSON string literal (quotes, backslash,
-/// control characters).
-std::string JsonEscape(std::string_view s);
-
 }  // namespace flexpath
 
 #endif  // FLEXPATH_COMMON_STRING_UTIL_H_

@@ -3,7 +3,7 @@
 #include <cassert>
 #include <cstdio>
 
-#include "common/string_util.h"
+#include "common/json_util.h"
 
 namespace flexpath {
 

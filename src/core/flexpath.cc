@@ -5,6 +5,8 @@
 #include <sstream>
 #include <utility>
 
+#include "common/log.h"
+
 namespace flexpath {
 
 namespace {
@@ -76,14 +78,19 @@ Status FlexPath::Build() {
     Span span(&collector, "ir_engine");
     ir_ = std::make_unique<IrEngine>(&corpus_, tokenizer_opts_);
   }
-  processor_ = std::make_unique<TopKProcessor>(element_index_.get(),
-                                               stats_.get(), ir_.get());
+  processor_ = std::make_unique<TopKProcessor>(
+      element_index_.get(), stats_.get(), ir_.get(), &query_stats_);
   QueryTrace trace = collector.Finish();
   static Histogram* m_build =
       MetricsRegistry::Global().histogram("build.total_ms");
   static Counter* m_builds = MetricsRegistry::Global().counter("build.count");
   m_build->Observe(trace.root.elapsed_ms);
   m_builds->Inc();
+  FLEXPATH_LOG_INFO("core", "index built",
+                    {"documents", corpus_.size()},
+                    {"elements", corpus_.TotalNodes()},
+                    {"distinct_tags", std::as_const(corpus_).tags().size()},
+                    {"elapsed_ms", trace.root.elapsed_ms});
   build_trace_ = std::make_shared<const QueryTrace>(std::move(trace));
   built_ = true;
   return Status::OK();
@@ -147,6 +154,10 @@ std::string FlexPath::Describe(const Tpq& q) const {
 
 std::string FlexPath::MetricsJson() const {
   return MetricsToJson(MetricsRegistry::Global().Snapshot());
+}
+
+std::string FlexPath::MetricsPrometheus() const {
+  return MetricsToPrometheus(MetricsRegistry::Global().Snapshot());
 }
 
 }  // namespace flexpath

@@ -12,6 +12,7 @@
 #include "exec/topk.h"
 #include "ir/engine.h"
 #include "ir/thesaurus.h"
+#include "obs/query_stats.h"
 #include "ir/tokenizer.h"
 #include "query/tpq.h"
 #include "query/xpath_parser.h"
@@ -112,6 +113,21 @@ class FlexPath {
   /// in common/metrics.h for the schema.
   std::string MetricsJson() const;
 
+  /// The same snapshot in the Prometheus text exposition format
+  /// (MetricsToPrometheus in common/metrics.h).
+  std::string MetricsPrometheus() const;
+
+  /// Per-query-shape cumulative statistics for this instance: every
+  /// QueryTpq/Query run is folded into its shape's aggregate (keyed by
+  /// FingerprintTpq), the recent-queries ring, and — when
+  /// TopKOptions::slow_query_ms is set — the slow-query log.
+  QueryStatsStore* query_stats() { return &query_stats_; }
+  const QueryStatsStore* query_stats() const { return &query_stats_; }
+
+  /// One JSON object with the per-shape aggregates, recent executions
+  /// and slow-query log; see QueryStatsStore::ToJson() for the schema.
+  std::string QueryStatsJson() const { return query_stats_.ToJson(); }
+
   /// Phase-by-phase trace of the last Build() call (element index,
   /// statistics, IR engine); null before Build().
   std::shared_ptr<const QueryTrace> build_trace() const {
@@ -132,6 +148,7 @@ class FlexPath {
   std::unique_ptr<IrEngine> ir_;
   std::unique_ptr<TopKProcessor> processor_;
   std::shared_ptr<const QueryTrace> build_trace_;
+  QueryStatsStore query_stats_;
 };
 
 }  // namespace flexpath

@@ -6,6 +6,7 @@
 #include <optional>
 #include <unordered_set>
 
+#include "common/log.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
 #include "relax/schedule.h"
@@ -65,7 +66,9 @@ Result<TopKResult> TopKProcessor::Run(const Tpq& q, Algorithm algo,
 
   const auto start = std::chrono::steady_clock::now();
   std::optional<TraceCollector> collector;
-  if (opts.collect_trace) {
+  // A slow-query threshold forces collection so the slow log can carry
+  // the span tree of the offending run.
+  if (opts.collect_trace || opts.slow_query_ms >= 0.0) {
     collector.emplace("query");
     TraceSpan* root = collector->current();
     root->Annotate("algorithm", std::string(AlgorithmName(algo)));
@@ -105,17 +108,64 @@ Result<TopKResult> TopKProcessor::Run(const Tpq& q, Algorithm algo,
   m_queries->Inc();
   if (!result.ok()) {
     m_errors->Inc();
-    return result;
+  } else {
+    m_latency[static_cast<size_t>(algo)]->Observe(elapsed_ms);
   }
-  m_latency[static_cast<size_t>(algo)]->Observe(elapsed_ms);
 
+  std::shared_ptr<const QueryTrace> finished;
   if (trace != nullptr) {
     TraceSpan* root = collector->current();
-    root->Annotate("relaxations_used",
-                   static_cast<uint64_t>(result->relaxations_used));
-    root->Annotate("answers", static_cast<uint64_t>(result->answers.size()));
-    result->trace =
-        std::make_shared<const QueryTrace>(collector->Finish());
+    if (result.ok()) {
+      root->Annotate("relaxations_used",
+                     static_cast<uint64_t>(result->relaxations_used));
+      root->Annotate("answers",
+                     static_cast<uint64_t>(result->answers.size()));
+    }
+    finished = std::make_shared<const QueryTrace>(collector->Finish());
+    if (result.ok() && opts.collect_trace) result->trace = finished;
+  }
+
+  const bool slow =
+      opts.slow_query_ms >= 0.0 && elapsed_ms >= opts.slow_query_ms;
+  const bool log_debug =
+      Logger::Global().Enabled(LogLevel::kDebug, "exec");
+  if (query_stats_ != nullptr || slow || log_debug) {
+    const TagDict& dict = index_->corpus().tags();
+    QueryExecution exec;
+    exec.fingerprint = FingerprintTpq(q, dict);
+    exec.query = q.ToString(dict);
+    exec.algorithm = AlgorithmName(algo);
+    exec.scheme = RankSchemeName(opts.scheme);
+    exec.k = opts.k;
+    exec.latency_ms = elapsed_ms;
+    if (result.ok()) {
+      exec.relaxations = result->relaxations_used;
+      exec.predicates_dropped = result->predicates_dropped;
+      exec.penalty = result->penalty_applied;
+      exec.answers = result->answers.size();
+    } else {
+      exec.error = true;
+    }
+    if (query_stats_ != nullptr) {
+      query_stats_->Record(exec);
+      if (slow) query_stats_->RecordSlow(exec, opts.slow_query_ms, finished);
+    }
+    if (slow) {
+      FLEXPATH_LOG_WARN(
+          "exec", "slow query",
+          {"fingerprint", FingerprintHex(exec.fingerprint)},
+          {"query", exec.query}, {"algorithm", exec.algorithm},
+          {"latency_ms", exec.latency_ms},
+          {"threshold_ms", opts.slow_query_ms},
+          {"relaxations", exec.relaxations}, {"answers", exec.answers});
+    } else if (log_debug) {
+      FLEXPATH_LOG_DEBUG(
+          "exec", exec.error ? "query failed" : "query executed",
+          {"fingerprint", FingerprintHex(exec.fingerprint)},
+          {"query", exec.query}, {"algorithm", exec.algorithm},
+          {"latency_ms", exec.latency_ms},
+          {"relaxations", exec.relaxations}, {"answers", exec.answers});
+    }
   }
   return result;
 }
@@ -194,6 +244,10 @@ Result<TopKResult> TopKProcessor::RunDpo(const Tpq& q,
       }
     }
     result.relaxations_used = round;
+    if (round > 0) {
+      result.penalty_applied = penalty;
+      result.predicates_dropped = schedule[round - 1].dropped.size();
+    }
     round_span.Annotate("new_answers", static_cast<uint64_t>(new_answers));
     round_span.Annotate("answers_so_far",
                         static_cast<uint64_t>(result.answers.size()));
@@ -278,6 +332,10 @@ Result<TopKResult> TopKProcessor::RunEncoded(const Tpq& q,
     pass_span.Annotate("answers",
                        static_cast<uint64_t>(result.answers.size()));
     result.relaxations_used = encoded;
+    if (encoded > 0) {
+      result.penalty_applied = schedule[encoded - 1].cumulative_penalty;
+      result.predicates_dropped = schedule[encoded - 1].dropped.size();
+    }
     if (result.answers.size() >= opts.k) break;
     // Fewer than K answers (SSO line 11). Two possible causes: the
     // threshold pruned tuples whose higher-bound competitors later died

@@ -9,6 +9,7 @@
 #include "exec/evaluator.h"
 #include "exec/selectivity.h"
 #include "ir/engine.h"
+#include "obs/query_stats.h"
 #include "query/tpq.h"
 #include "rank/score.h"
 #include "relax/penalty.h"
@@ -39,12 +40,23 @@ struct TopKOptions {
   /// with plan-build, join-step and sort sub-spans. Off by default — the
   /// disabled path costs one pointer test per would-be span.
   bool collect_trace = false;
+  /// Slow-query threshold in milliseconds. When >= 0, a run at least this
+  /// slow is logged at WARN and appended (with its trace) to the
+  /// processor's QueryStatsStore slow-query log; trace collection is
+  /// forced on for such runs so the log can carry the span tree.
+  /// Negative (the default) disables the slow-query log.
+  double slow_query_ms = -1.0;
 };
 
 struct TopKResult {
   std::vector<RankedAnswer> answers;  ///< At most k, best first.
   ExecCounters counters;
   size_t relaxations_used = 0;  ///< Schedule steps evaluated/encoded.
+  /// Cumulative structural penalty of the deepest relaxation applied
+  /// (DPO: last executed round; SSO/Hybrid: last encoded step).
+  double penalty_applied = 0.0;
+  /// Predicates relaxed away at that deepest relaxation.
+  uint64_t predicates_dropped = 0;
   /// Execution trace; null unless TopKOptions::collect_trace was set.
   std::shared_ptr<const QueryTrace> trace;
 };
@@ -55,10 +67,15 @@ struct TopKResult {
 class TopKProcessor {
  public:
   /// All dependencies must outlive the processor. `ir` may be null when
-  /// queries carry no contains predicates.
+  /// queries carry no contains predicates; `query_stats` may be null to
+  /// skip per-shape statistics collection.
   TopKProcessor(const ElementIndex* index, const DocumentStats* stats,
-                IrEngine* ir)
-      : index_(index), stats_(stats), ir_(ir), evaluator_(index, ir) {}
+                IrEngine* ir, QueryStatsStore* query_stats = nullptr)
+      : index_(index),
+        stats_(stats),
+        ir_(ir),
+        query_stats_(query_stats),
+        evaluator_(index, ir) {}
 
   /// Evaluates the top-K answers of `q` and all its relaxations
   /// (Definition 4) with the chosen algorithm. All three algorithms
@@ -78,6 +95,7 @@ class TopKProcessor {
   const ElementIndex* index_;
   const DocumentStats* stats_;
   IrEngine* ir_;
+  QueryStatsStore* query_stats_;
   PlanEvaluator evaluator_;
 };
 

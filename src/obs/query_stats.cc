@@ -1,0 +1,229 @@
+#include "obs/query_stats.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/json_util.h"
+
+namespace flexpath {
+
+namespace {
+
+/// Order-insensitive canonical rendering of the subtree rooted at `var`.
+/// Mirrors Tpq::CanonicalString but renders tags by name so the key is
+/// stable across corpora with different interning orders.
+std::string ShapeSubtree(const Tpq& q, VarId var, const TagDict& dict,
+                         bool is_root) {
+  const TpqNode& n = q.node(var);
+  std::string out = "(";
+  out += is_root ? 'r' : (q.AxisOf(var) == Axis::kChild ? 'c' : 'd');
+  out += ':';
+  out += n.tag == kInvalidTag ? "*" : dict.Name(n.tag);
+  if (var == q.distinguished()) out += '!';
+  std::vector<std::string> preds;
+  for (const FtExpr& e : n.contains) preds.push_back("C" + e.ToString());
+  for (const AttrPred& a : n.attr_preds) {
+    preds.push_back("A" + a.ToString(&dict));
+  }
+  std::vector<std::string> kids;
+  for (VarId c : q.Children(var)) {
+    kids.push_back(ShapeSubtree(q, c, dict, false));
+  }
+  std::sort(preds.begin(), preds.end());
+  std::sort(kids.begin(), kids.end());
+  for (const std::string& p : preds) out += p;
+  for (const std::string& k : kids) out += k;
+  out += ')';
+  return out;
+}
+
+uint64_t Fnv1a64(std::string_view s) {
+  uint64_t h = 14695981039346656037ull;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void AppendHistogramJson(std::string* out, const HistogramSnapshot& h) {
+  *out += "{\"count\":" + std::to_string(h.count);
+  *out += ",\"sum\":" + FormatDouble(h.sum);
+  *out += ",\"mean\":" + FormatDouble(h.Mean());
+  *out += ",\"p50\":" + FormatDouble(h.Quantile(0.5));
+  *out += ",\"p99\":" + FormatDouble(h.Quantile(0.99));
+  *out += ",\"min\":" + FormatDouble(h.min);
+  *out += ",\"max\":" + FormatDouble(h.max);
+  *out += '}';
+}
+
+void AppendExecutionJson(std::string* out, const QueryExecution& e) {
+  *out += "{\"fingerprint\":\"" + FingerprintHex(e.fingerprint);
+  *out += "\",\"query\":\"" + JsonEscape(e.query);
+  *out += "\",\"algorithm\":\"" + JsonEscape(e.algorithm);
+  *out += "\",\"scheme\":\"" + JsonEscape(e.scheme);
+  *out += "\",\"k\":" + std::to_string(e.k);
+  *out += ",\"latency_ms\":" + FormatDouble(e.latency_ms);
+  *out += ",\"relaxations\":" + std::to_string(e.relaxations);
+  *out += ",\"predicates_dropped\":" + std::to_string(e.predicates_dropped);
+  *out += ",\"penalty\":" + FormatDouble(e.penalty);
+  *out += ",\"answers\":" + std::to_string(e.answers);
+  *out += ",\"error\":";
+  *out += e.error ? "true" : "false";
+  *out += '}';
+}
+
+}  // namespace
+
+std::string QueryShapeKey(const Tpq& q, const TagDict& dict) {
+  if (q.empty()) return "()";
+  return ShapeSubtree(q, q.root(), dict, true);
+}
+
+uint64_t FingerprintTpq(const Tpq& q, const TagDict& dict) {
+  return Fnv1a64(QueryShapeKey(q, dict));
+}
+
+std::string FingerprintHex(uint64_t fingerprint) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(fingerprint));
+  return buf;
+}
+
+QueryStatsStore::QueryStatsStore(QueryStatsOptions opts) : opts_(opts) {}
+
+void QueryStatsStore::Record(const QueryExecution& e) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++seq_;
+  ShapeStats& s = shapes_[e.fingerprint];
+  if (s.executions == 0) s.example_query = e.query;
+  ++s.executions;
+  if (e.error) ++s.errors;
+  s.latency_ms.Observe(e.latency_ms);
+  s.total_relaxations += e.relaxations;
+  s.total_predicates_dropped += e.predicates_dropped;
+  s.total_penalty += e.penalty;
+  s.total_answers += e.answers;
+  s.last_touched = seq_;
+  EvictShapesLocked();
+
+  ring_.push_back(e);
+  while (ring_.size() > opts_.ring_capacity) ring_.pop_front();
+}
+
+void QueryStatsStore::RecordSlow(const QueryExecution& e, double threshold_ms,
+                                 std::shared_ptr<const QueryTrace> trace) {
+  std::lock_guard<std::mutex> lock(mu_);
+  slowlog_.push_back(SlowQueryEntry{e, threshold_ms, std::move(trace)});
+  while (slowlog_.size() > opts_.slowlog_capacity) slowlog_.pop_front();
+}
+
+void QueryStatsStore::EvictShapesLocked() {
+  while (shapes_.size() > opts_.max_shapes) {
+    auto victim = shapes_.begin();
+    for (auto it = shapes_.begin(); it != shapes_.end(); ++it) {
+      if (it->second.last_touched < victim->second.last_touched) victim = it;
+    }
+    shapes_.erase(victim);
+  }
+}
+
+std::vector<ShapeStatsSnapshot> QueryStatsStore::Shapes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ShapeStatsSnapshot> out;
+  out.reserve(shapes_.size());
+  for (const auto& [fingerprint, s] : shapes_) {
+    ShapeStatsSnapshot snap;
+    snap.fingerprint = fingerprint;
+    snap.example_query = s.example_query;
+    snap.executions = s.executions;
+    snap.errors = s.errors;
+    snap.latency_ms = s.latency_ms.Snapshot();
+    snap.total_relaxations = s.total_relaxations;
+    snap.total_predicates_dropped = s.total_predicates_dropped;
+    snap.total_penalty = s.total_penalty;
+    snap.total_answers = s.total_answers;
+    out.push_back(std::move(snap));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ShapeStatsSnapshot& a, const ShapeStatsSnapshot& b) {
+              if (a.executions != b.executions) {
+                return a.executions > b.executions;
+              }
+              return a.fingerprint < b.fingerprint;
+            });
+  return out;
+}
+
+std::vector<QueryExecution> QueryStatsStore::Recent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {ring_.begin(), ring_.end()};
+}
+
+std::vector<SlowQueryEntry> QueryStatsStore::SlowLog() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {slowlog_.begin(), slowlog_.end()};
+}
+
+size_t QueryStatsStore::shape_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shapes_.size();
+}
+
+void QueryStatsStore::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  shapes_.clear();
+  ring_.clear();
+  slowlog_.clear();
+  seq_ = 0;
+}
+
+std::string QueryStatsStore::ToJson() const {
+  const std::vector<ShapeStatsSnapshot> shapes = Shapes();
+  const std::vector<QueryExecution> recent = Recent();
+  const std::vector<SlowQueryEntry> slow = SlowLog();
+
+  std::string out = "{\"shapes\":[";
+  bool first = true;
+  for (const ShapeStatsSnapshot& s : shapes) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"fingerprint\":\"" + FingerprintHex(s.fingerprint);
+    out += "\",\"query\":\"" + JsonEscape(s.example_query);
+    out += "\",\"executions\":" + std::to_string(s.executions);
+    out += ",\"errors\":" + std::to_string(s.errors);
+    out += ",\"latency_ms\":";
+    AppendHistogramJson(&out, s.latency_ms);
+    out += ",\"relaxations_mean\":" + FormatDouble(s.MeanRelaxations());
+    out += ",\"predicates_dropped_mean\":" +
+           FormatDouble(s.MeanPredicatesDropped());
+    out += ",\"penalty_mean\":" + FormatDouble(s.MeanPenalty());
+    out += ",\"answers_mean\":" + FormatDouble(s.MeanAnswers());
+    out += '}';
+  }
+  out += "],\"recent\":[";
+  first = true;
+  for (const QueryExecution& e : recent) {
+    if (!first) out += ',';
+    first = false;
+    AppendExecutionJson(&out, e);
+  }
+  out += "],\"slow_log\":[";
+  first = true;
+  for (const SlowQueryEntry& entry : slow) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"threshold_ms\":" + FormatDouble(entry.threshold_ms);
+    out += ",\"execution\":";
+    AppendExecutionJson(&out, entry.execution);
+    if (entry.trace != nullptr) {
+      out += ",\"trace\":" + TraceToJson(*entry.trace);
+    }
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace flexpath

@@ -1,6 +1,7 @@
 #include "common/metrics.h"
 
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -91,6 +92,86 @@ TEST(HistogramTest, OverflowQuantileStaysWithinObservedRange) {
   EXPECT_LE(p99, 1000.0);   // ...but never past what was observed.
 }
 
+TEST(HistogramTest, QuantileOfEmptyHistogramIsZero) {
+  Histogram h({1.0, 2.0, 3.0});
+  HistogramSnapshot s = h.Snapshot();
+  EXPECT_DOUBLE_EQ(s.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(1.0), 0.0);
+}
+
+TEST(HistogramTest, QuantileAllMassInOneBucketStaysInsideItsEdges) {
+  Histogram h({10.0, 20.0, 30.0});
+  for (int i = 0; i < 100; ++i) h.Observe(25.0);
+  HistogramSnapshot s = h.Snapshot();
+  // Every quantile must land inside bucket (20, 30] — and never below
+  // the observed min or above the observed max.
+  for (double q : {0.01, 0.25, 0.5, 0.75, 0.99, 1.0}) {
+    const double v = s.Quantile(q);
+    EXPECT_GE(v, 20.0) << "q=" << q;
+    EXPECT_LE(v, 30.0) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, OverflowBucketInterpolatesTowardObservedMax) {
+  Histogram h({1.0, 2.0});
+  // Two overflow observations: the overflow bucket spans
+  // [top finite edge=2, observed max=100].
+  h.Observe(50.0);
+  h.Observe(100.0);
+  HistogramSnapshot s = h.Snapshot();
+  const double p25 = s.Quantile(0.25);
+  const double p100 = s.Quantile(1.0);
+  EXPECT_GE(p25, 2.0);
+  EXPECT_LE(p25, 100.0);
+  EXPECT_LE(p25, p100);
+  EXPECT_DOUBLE_EQ(p100, 100.0);  // q=1 interpolates to the far edge: max.
+}
+
+TEST(HistogramTest, QuantileClampsOutOfRangeArguments) {
+  Histogram h({1.0});
+  h.Observe(0.5);
+  HistogramSnapshot s = h.Snapshot();
+  EXPECT_DOUBLE_EQ(s.Quantile(-1.0), s.Quantile(0.0));
+  EXPECT_DOUBLE_EQ(s.Quantile(2.0), s.Quantile(1.0));
+}
+
+TEST(MetricsThreadingTest, ConcurrentCounterIncsAllLand) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kIncs = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kIncs; ++i) c.Inc();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.Value(), static_cast<uint64_t>(kThreads) * kIncs);
+}
+
+TEST(MetricsThreadingTest, ConcurrentHistogramObservesAllLand) {
+  Histogram h({1.0, 10.0, 100.0});
+  constexpr int kThreads = 8;
+  constexpr int kObs = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      // Each thread hits a different bucket so per-bucket counts are
+      // checkable too.
+      const double v = t % 2 == 0 ? 0.5 : 50.0;
+      for (int i = 0; i < kObs; ++i) h.Observe(v);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, static_cast<uint64_t>(kThreads) * kObs);
+  EXPECT_EQ(s.counts[0], static_cast<uint64_t>(kThreads) / 2 * kObs);
+  EXPECT_EQ(s.counts[2], static_cast<uint64_t>(kThreads) / 2 * kObs);
+  EXPECT_DOUBLE_EQ(s.min, 0.5);
+  EXPECT_DOUBLE_EQ(s.max, 50.0);
+}
+
 TEST(HistogramTest, ResetClears) {
   Histogram h({1.0});
   h.Observe(0.5);
@@ -154,6 +235,134 @@ TEST(MetricsJsonTest, RendersAllSections) {
   EXPECT_NE(json.find("\"histograms\""), std::string::npos) << json;
   EXPECT_NE(json.find("\"count\":1"), std::string::npos) << json;
   EXPECT_NE(json.find("\"bounds\""), std::string::npos) << json;
+}
+
+TEST(MetricsJsonTest, EscapesMetricNames) {
+  // Metric names are normally library-chosen identifiers, but the
+  // renderer must not produce invalid JSON if one ever carries a quote
+  // or backslash (e.g. a name derived from user query text).
+  MetricsRegistry reg;
+  reg.counter("evil\"name")->Inc();
+  reg.gauge("back\\slash")->Set(1);
+  reg.histogram("tab\there", {1.0})->Observe(0.5);
+
+  const std::string json = MetricsToJson(reg.Snapshot());
+  EXPECT_NE(json.find("\"evil\\\"name\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"back\\\\slash\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"tab\\there\""), std::string::npos) << json;
+  // The raw unescaped forms must be gone.
+  EXPECT_EQ(json.find("evil\"name"), std::string::npos) << json;
+  EXPECT_EQ(json.find("back\\slash\""), std::string::npos) << json;
+}
+
+TEST(MetricsPrometheusTest, CountersAndGauges) {
+  MetricsRegistry reg;
+  reg.counter("query.count")->Inc(7);
+  reg.gauge("exec.buckets_peak")->Set(3);
+
+  const std::string prom = MetricsToPrometheus(reg.Snapshot());
+  EXPECT_NE(prom.find("# HELP flexpath_query_count_total"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("# TYPE flexpath_query_count_total counter"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("flexpath_query_count_total 7\n"), std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("# TYPE flexpath_exec_buckets_peak gauge"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("flexpath_exec_buckets_peak 3\n"), std::string::npos)
+      << prom;
+}
+
+TEST(MetricsPrometheusTest, HistogramSeriesAreCumulativeWithInfBucket) {
+  MetricsRegistry reg;
+  Histogram* h = reg.histogram("query.latency_ms.dpo", {1.0, 10.0});
+  h->Observe(0.5);   // bucket le=1.
+  h->Observe(5.0);   // bucket le=10.
+  h->Observe(99.0);  // overflow.
+
+  const std::string prom = MetricsToPrometheus(reg.Snapshot());
+  const std::string name = "flexpath_query_latency_ms_dpo";
+  EXPECT_NE(prom.find("# TYPE " + name + " histogram"), std::string::npos)
+      << prom;
+  // Buckets are cumulative and end with +Inf == _count.
+  EXPECT_NE(prom.find(name + "_bucket{le=\"1\"} 1\n"), std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find(name + "_bucket{le=\"10\"} 2\n"), std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find(name + "_bucket{le=\"+Inf\"} 3\n"), std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find(name + "_sum 104.5\n"), std::string::npos) << prom;
+  EXPECT_NE(prom.find(name + "_count 3\n"), std::string::npos) << prom;
+}
+
+TEST(MetricsPrometheusTest, FormatRoundTrips) {
+  // Structural round-trip of the exposition format: every non-comment
+  // line is "name[{le="x"}] value", every sample name appears after a
+  // HELP and a TYPE line for its family, and histogram bucket counts
+  // are non-decreasing.
+  MetricsRegistry reg;
+  reg.counter("a.count")->Inc(2);
+  reg.gauge("b.depth")->Set(-4);
+  Histogram* h = reg.histogram("c.lat_ms", {1.0, 2.0});
+  h->Observe(0.5);
+  h->Observe(1.5);
+
+  const std::string prom = MetricsToPrometheus(reg.Snapshot());
+  size_t pos = 0;
+  int samples = 0;
+  uint64_t last_bucket = 0;
+  while (pos < prom.size()) {
+    size_t eol = prom.find('\n', pos);
+    ASSERT_NE(eol, std::string::npos) << "unterminated line";
+    const std::string line = prom.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.rfind("# HELP ", 0) == 0 || line.rfind("# TYPE ", 0) == 0) {
+      continue;
+    }
+    // Sample line: split on the last space.
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string name = line.substr(0, space);
+    const std::string value = line.substr(space + 1);
+    EXPECT_FALSE(value.empty()) << line;
+    // Name must be sanitized: letters, digits, _, and an optional
+    // {le="..."} suffix.
+    const size_t brace = name.find('{');
+    const std::string bare = name.substr(0, brace);
+    for (char c : bare) {
+      EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '_')
+          << line;
+    }
+    // The family (bare name minus histogram/counter suffixes) must have
+    // HELP and TYPE lines.
+    std::string family = bare;
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const size_t n = std::string(suffix).size();
+      if (family.size() > n &&
+          family.compare(family.size() - n, n, suffix) == 0 &&
+          prom.find("# TYPE " + family.substr(0, family.size() - n) +
+                    " histogram") != std::string::npos) {
+        family = family.substr(0, family.size() - n);
+        break;
+      }
+    }
+    EXPECT_NE(prom.find("# HELP " + family + " "), std::string::npos)
+        << "no HELP for " << line;
+    EXPECT_NE(prom.find("# TYPE " + family + " "), std::string::npos)
+        << "no TYPE for " << line;
+    if (brace != std::string::npos) {
+      const uint64_t count = std::stoull(value);
+      EXPECT_GE(count, last_bucket) << "buckets must be cumulative: "
+                                    << line;
+      last_bucket = name.find("+Inf") != std::string::npos ? 0 : count;
+    }
+    ++samples;
+  }
+  EXPECT_EQ(samples, 1 + 1 + (3 + 2));  // counter + gauge + histogram.
 }
 
 }  // namespace
