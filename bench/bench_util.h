@@ -59,20 +59,25 @@ double LargeDocMb();   ///< 100MB full; 20MB default.
 double SweepSizeMb(int index);
 
 /// Runs one top-K query and returns the result (asserts success).
+/// `threads` maps to TopKOptions::num_threads; the default of 1 keeps
+/// the paper-figure benchmarks on the serial path so their numbers stay
+/// comparable across machines — thread-scaling benches opt in explicitly.
 TopKResult RunTopK(Fixture& fixture, const Tpq& q, Algorithm algo, size_t k,
-                   RankScheme scheme = RankScheme::kStructureFirst);
+                   RankScheme scheme = RankScheme::kStructureFirst,
+                   size_t threads = 1);
 
 /// Prints one machine-parseable JSON line describing a benchmark run to
 /// stderr (stdout belongs to google-benchmark's reporter):
 ///   {"bench":"fig10/DPO","algorithm":"DPO","k":600,"corpus_bytes":...,
-///    "elapsed_ms":...,"relaxations_used":...,"answers":...,
+///    "elapsed_ms":...,"relaxations_used":...,"answers":...,"threads":...,
 ///    "counters":{"plan_passes":...,...all ExecCounters fields...}}
 /// When `metrics_json` is non-null, its content is appended verbatim as a
 /// final "metrics" field (a MetricsToJson snapshot of the run).
 void EmitJsonLine(const std::string& bench, const char* algorithm, size_t k,
                   uint64_t corpus_bytes, double elapsed_ms,
                   const ExecCounters& counters, size_t relaxations,
-                  size_t answers, const std::string* metrics_json = nullptr);
+                  size_t answers, size_t threads = 1,
+                  const std::string* metrics_json = nullptr);
 
 /// Times one un-instrumented top-K run and emits its JSON line. Call once
 /// per benchmark case, after the google-benchmark timing loop, so every
@@ -83,7 +88,8 @@ void EmitJsonLine(const std::string& bench, const char* algorithm, size_t k,
 /// line as a "metrics" field.
 TopKResult EmitTopKRunJson(const std::string& bench, Fixture& fixture,
                            const Tpq& q, Algorithm algo, size_t k,
-                           RankScheme scheme = RankScheme::kStructureFirst);
+                           RankScheme scheme = RankScheme::kStructureFirst,
+                           size_t threads = 1);
 
 }  // namespace bench_util
 }  // namespace flexpath

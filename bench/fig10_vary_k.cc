@@ -24,11 +24,40 @@ void BM_Fig10(benchmark::State& state, flexpath::Algorithm algo) {
   flexpath::bench_util::EmitTopKRunJson("fig10_vary_k", fixture, q, algo, k);
 }
 
+// Thread scaling at a fixed K: the same Q3 run with the pool sized 1, 2,
+// 4 and 8. Results are identical at every thread count (deterministic
+// merge) — only wall-clock changes; each JSON line records its "threads"
+// so the scaling table in the README can be regenerated mechanically.
+void BM_Fig10Threads(benchmark::State& state, flexpath::Algorithm algo) {
+  auto& fixture = flexpath::bench_util::GetFixtureMb(
+      flexpath::bench_util::MediumDocMb());
+  flexpath::Tpq q = fixture.Parse(flexpath::bench_util::kQ3);
+  const size_t threads = static_cast<size_t>(state.range(0));
+  const size_t k = 600;
+  flexpath::TopKResult result;
+  for (auto _ : state) {
+    result = flexpath::bench_util::RunTopK(
+        fixture, q, algo, k, flexpath::RankScheme::kStructureFirst, threads);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["answers"] = static_cast<double>(result.answers.size());
+  flexpath::bench_util::EmitTopKRunJson(
+      "fig10_vary_k/threads", fixture, q, algo, k,
+      flexpath::RankScheme::kStructureFirst, threads);
+}
+
 }  // namespace
 
 BENCHMARK_CAPTURE(BM_Fig10, DPO, flexpath::Algorithm::kDpo)
     ->Arg(50)->Arg(100)->Arg(200)->Arg(300)->Arg(400)->Arg(500)->Arg(600);
 BENCHMARK_CAPTURE(BM_Fig10, SSO, flexpath::Algorithm::kSso)
     ->Arg(50)->Arg(100)->Arg(200)->Arg(300)->Arg(400)->Arg(500)->Arg(600);
+BENCHMARK_CAPTURE(BM_Fig10Threads, DPO, flexpath::Algorithm::kDpo)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+BENCHMARK_CAPTURE(BM_Fig10Threads, SSO, flexpath::Algorithm::kSso)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+BENCHMARK_CAPTURE(BM_Fig10Threads, Hybrid, flexpath::Algorithm::kHybrid)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 BENCHMARK_MAIN();

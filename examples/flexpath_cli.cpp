@@ -16,6 +16,8 @@
 //   :k N                       set K (default 10)
 //   :algo dpo|sso|hybrid       choose the top-K algorithm
 //   :scheme structure|keyword|combined
+//   :threads N                 worker threads (0 = all cores, 1 = serial;
+//                              results are identical either way)
 //   :explain <xpath>           show closure, operators and the schedule
 //   :analyze <xpath>           run with tracing, print the span tree
 //   :synonym A B               register B as a synonym of A
@@ -31,6 +33,8 @@
 //   --slow-query-ms N          queries at least N ms slow are logged at
 //                              WARN and appended (with their trace) to
 //                              the slow-query log
+//   --threads N                worker threads for query execution
+//                              (0 = hardware concurrency, 1 = serial)
 //   --metrics-prom             print a Prometheus text exposition of all
 //                              metrics on exit (stdout)
 #include <cstdio>
@@ -57,6 +61,7 @@ struct CliState {
   flexpath::Algorithm algo = flexpath::Algorithm::kHybrid;
   flexpath::RankScheme scheme = flexpath::RankScheme::kStructureFirst;
   double slow_query_ms = -1.0;  ///< Negative: slow-query log disabled.
+  size_t threads = 0;           ///< 0: hardware concurrency; 1: serial.
 };
 
 void PrintHelp() {
@@ -65,6 +70,7 @@ void PrintHelp() {
       "  :k N                     set K (current answers cap)\n"
       "  :algo dpo|sso|hybrid     choose the algorithm\n"
       "  :scheme structure|keyword|combined\n"
+      "  :threads N               worker threads (0 = all cores, 1 = serial)\n"
       "  :explain <xpath>         closure, operators, schedule\n"
       "  :analyze <xpath>         run with tracing, print the span tree\n"
       "  :synonym A B             thesaurus entry (B relaxes A)\n"
@@ -78,6 +84,7 @@ void RunQuery(CliState& state, const std::string& xpath) {
   opts.k = state.k;
   opts.scheme = state.scheme;
   opts.slow_query_ms = state.slow_query_ms;
+  opts.num_threads = state.threads;
   flexpath::Result<std::vector<flexpath::QueryAnswer>> answers =
       state.fp.Query(xpath, opts, state.algo);
   if (!answers.ok()) {
@@ -135,6 +142,7 @@ int ExplainAnalyze(CliState& state, const std::string& xpath,
   opts.k = state.k;
   opts.scheme = state.scheme;
   opts.slow_query_ms = state.slow_query_ms;
+  opts.num_threads = state.threads;
   opts.collect_trace = true;
   flexpath::Result<flexpath::TopKResult> result =
       state.fp.QueryTpq(*q, opts, state.algo);
@@ -252,6 +260,15 @@ int Repl(CliState& state) {
         continue;
       }
       std::printf("scheme = %s\n", flexpath::RankSchemeName(state.scheme));
+    } else if (cmd == ":threads") {
+      size_t n = 0;
+      if (words >> n) {
+        state.threads = n;
+        std::printf("threads = %zu%s\n", state.threads,
+                    state.threads == 0 ? " (hardware concurrency)" : "");
+      } else {
+        std::printf("usage: :threads N (0 = all cores, 1 = serial)\n");
+      }
     } else if (cmd == ":explain") {
       std::string rest;
       std::getline(words, rest);
@@ -306,6 +323,10 @@ int main(int argc, char** argv) {
       state.slow_query_ms = std::atof(argv[++i]);
       continue;
     }
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      state.threads = static_cast<size_t>(std::atol(argv[++i]));
+      continue;
+    }
     if (std::strcmp(argv[i], "--metrics-prom") == 0) {
       metrics_prom = true;
       continue;
@@ -347,8 +368,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s [--xmark MB] [--explain \"<xpath>\"] "
                  "[--explain-json \"<xpath>\"] [--log-json] "
-                 "[--log-level L] [--slow-query-ms N] [--metrics-prom] "
-                 "[file.xml ...]\n"
+                 "[--log-level L] [--slow-query-ms N] [--threads N] "
+                 "[--metrics-prom] [file.xml ...]\n"
                  "loads documents, then starts an interactive shell;\n"
                  "--explain runs one traced query and exits;\n"
                  "--metrics-prom prints Prometheus metrics on exit\n",

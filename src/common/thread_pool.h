@@ -1,0 +1,141 @@
+#ifndef FLEXPATH_COMMON_THREAD_POOL_H_
+#define FLEXPATH_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace flexpath {
+
+/// A fixed-size worker pool with one shared FIFO work queue. Built for
+/// the query pipeline's fan-out points (relaxation rounds, per-step tuple
+/// chunks): tasks are small closures over shared *immutable* state, so
+/// the pool provides scheduling only — no per-task results, no futures.
+/// Use TaskGroup or ParallelFor on top for joining and exception
+/// propagation.
+///
+/// Threads are started in the constructor and joined in the destructor;
+/// destruction drains every task already queued (tasks submitted by
+/// running tasks included) before the workers exit, so a pool going out
+/// of scope never strands work.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains the queue, then stops and joins every worker.
+  ~ThreadPool();
+
+  size_t size() const { return threads_.size(); }
+
+  /// Enqueues one task. Safe to call from any thread, including pool
+  /// workers (a task may submit follow-up tasks). Tasks must not throw —
+  /// an escaping exception terminates the process, as from any thread;
+  /// route fallible work through TaskGroup/ParallelFor, which catch and
+  /// re-throw on the joining thread.
+  void Submit(std::function<void()> task);
+
+  /// True when the calling thread is a worker of *any* ThreadPool. Used
+  /// to run nested fan-outs inline: a task that itself calls ParallelFor
+  /// must not block on sub-tasks queued behind it (deadlock when every
+  /// worker waits this way), and the outer fan-out already owns the
+  /// parallelism.
+  static bool OnWorkerThread();
+
+  /// Index of the calling worker within its pool, or -1 off-pool. Stable
+  /// for a worker's lifetime; used to attribute trace spans and per-worker
+  /// scratch space.
+  static int CurrentWorkerId();
+
+  /// std::thread::hardware_concurrency() with a floor of 1 (the standard
+  /// allows 0 for "unknown").
+  static size_t HardwareConcurrency();
+
+ private:
+  void WorkerLoop(int worker_id);
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+/// Joins a batch of tasks and re-throws the first exception any of them
+/// raised ("first" by submission order, so which exception wins never
+/// depends on thread scheduling):
+///
+///   TaskGroup group(pool);
+///   for (auto& item : items) group.Run([&item] { Process(item); });
+///   group.Wait();  // re-throws here, on the calling thread
+///
+/// With a null pool (or from inside a pool worker — see
+/// ThreadPool::OnWorkerThread) tasks run inline on the calling thread at
+/// Run(), preserving the sequential order; Wait() is then a no-op check.
+class TaskGroup {
+ public:
+  /// `pool` may be null: every task then runs inline.
+  explicit TaskGroup(ThreadPool* pool);
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Wait() must have returned (or never-Run) before destruction.
+  ~TaskGroup();
+
+  /// Schedules `fn`. Must not be called concurrently with itself or with
+  /// Wait() (one thread drives a group).
+  void Run(std::function<void()> fn);
+
+  /// Blocks until every task scheduled so far has finished, then
+  /// re-throws the first (by submission order) captured exception.
+  void Wait();
+
+ private:
+  ThreadPool* pool_;
+  bool inline_only_;
+  std::mutex mu_;
+  std::condition_variable done_cv_;
+  size_t scheduled_ = 0;
+  size_t finished_ = 0;
+  /// Captured exceptions in submission order; first non-null wins. A
+  /// deque so slots stay at stable addresses while Run() keeps appending
+  /// — in-flight tasks hold pointers to their own slot.
+  std::deque<std::exception_ptr> errors_;
+};
+
+/// Splits [0, n) into contiguous chunks for a pool fan-out. The split is
+/// a pure function of (n, grain, pool size): at most 4 chunks per worker,
+/// none smaller than `grain` (except the last), one single chunk when the
+/// fan-out would be pointless (null pool, single worker, n <= grain, or
+/// the caller is itself a pool worker — nested fan-outs run inline).
+/// Callers that keep per-chunk outputs and merge them by chunk index get
+/// results independent of thread count and scheduling.
+std::vector<std::pair<size_t, size_t>> ChunkRanges(const ThreadPool* pool,
+                                                   size_t n, size_t grain);
+
+/// Splits [0, n) into contiguous chunks of at most `grain` items and runs
+/// `body(begin, end)` over them on the pool, blocking until all chunks
+/// finish. Exceptions propagate like TaskGroup's (first chunk wins).
+/// Chunk boundaries depend only on (n, grain, pool size) and results are
+/// typically concatenated in chunk order, so outputs are independent of
+/// thread scheduling — the caller-side pattern for deterministic merges.
+///
+/// Runs entirely inline (one body(0, n) call) when `pool` is null, has a
+/// single worker, n <= grain, or the caller is itself a pool worker
+/// (nested fan-out; see ThreadPool::OnWorkerThread). n == 0 is a no-op.
+void ParallelFor(ThreadPool* pool, size_t n, size_t grain,
+                 const std::function<void(size_t, size_t)>& body);
+
+}  // namespace flexpath
+
+#endif  // FLEXPATH_COMMON_THREAD_POOL_H_

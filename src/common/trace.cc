@@ -122,6 +122,13 @@ const TraceSpan* TraceSpan::Find(std::string_view name) const {
   return nullptr;
 }
 
+void TraceSpan::ShiftBy(double offset_ms) {
+  start_ms += offset_ms;
+  for (const std::unique_ptr<TraceSpan>& child : children) {
+    child->ShiftBy(offset_ms);
+  }
+}
+
 TraceCollector::TraceCollector(std::string root_name)
     : start_(std::chrono::steady_clock::now()) {
   trace_.root.name = std::move(root_name);
@@ -133,6 +140,11 @@ double TraceCollector::NowMs() const {
   return std::chrono::duration<double, std::milli>(
              std::chrono::steady_clock::now() - start_)
       .count();
+}
+
+void TraceCollector::Adopt(TraceSpan&& span) {
+  stack_.back()->children.push_back(
+      std::make_unique<TraceSpan>(std::move(span)));
 }
 
 TraceSpan* TraceCollector::OpenSpan(std::string_view name) {

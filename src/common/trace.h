@@ -45,6 +45,12 @@ struct TraceSpan {
   /// First descendant (depth-first, self excluded) with the given name;
   /// nullptr when none.
   const TraceSpan* Find(std::string_view name) const;
+
+  /// Adds `offset_ms` to this span's start time and, recursively, to
+  /// every descendant's. Used when grafting a worker-local trace (whose
+  /// clock started at task launch) into a parent trace: shifting by the
+  /// parent's launch-time offset puts both on one timeline.
+  void ShiftBy(double offset_ms);
 };
 
 /// A finished per-query execution trace: the root span covers the whole
@@ -54,9 +60,12 @@ struct QueryTrace {
   TraceSpan root;
 };
 
-/// Assembles a QueryTrace from nested Span lifetimes. Single-threaded by
-/// design (the query pipeline is single-threaded): spans must close in
-/// LIFO order, which the Span RAII type guarantees.
+/// Assembles a QueryTrace from nested Span lifetimes. Confined to one
+/// thread by design: spans must close in LIFO order, which the Span RAII
+/// type guarantees. Parallel pipeline stages do NOT share a collector —
+/// each worker task assembles its own (fork), and the coordinating thread
+/// grafts the finished subtrees into the parent collector with Adopt()
+/// after joining, in a deterministic order (join). See DESIGN.md §10.
 class TraceCollector {
  public:
   /// Starts the clock and opens the root span.
@@ -74,6 +83,12 @@ class TraceCollector {
 
   /// Milliseconds since the collector started.
   double NowMs() const;
+
+  /// Grafts a finished span tree (typically a worker collector's
+  /// Finish()ed root, ShiftBy()-adjusted by the caller) under the
+  /// innermost open span. The adopted tree is taken as-is — it is never
+  /// on the open-span stack.
+  void Adopt(TraceSpan&& span);
 
   // Used by Span; not part of the public surface.
   TraceSpan* OpenSpan(std::string_view name);

@@ -84,7 +84,9 @@ class FlexPath {
   Result<Tpq> Parse(std::string_view xpath) const;
 
   /// Runs a top-K query (parse + evaluate). Defaults: structure-first
-  /// ranking, the Hybrid algorithm.
+  /// ranking, the Hybrid algorithm, parallel execution across all cores
+  /// (TopKOptions::num_threads = 0; set 1 for the serial path — answers
+  /// and counters are identical either way, see DESIGN.md §10).
   Result<std::vector<QueryAnswer>> Query(std::string_view xpath,
                                          const TopKOptions& opts = {},
                                          Algorithm algo = Algorithm::kHybrid);

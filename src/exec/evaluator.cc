@@ -87,6 +87,39 @@ void DominancePrune(const std::vector<int>& live_steps,
   *tuples = std::move(kept);
 }
 
+/// Runs `body(begin, end, out, ctr)` over [0, n) in contiguous chunks on
+/// the pool, then concatenates per-chunk outputs and folds per-chunk
+/// counters *in chunk-index order*. Because chunk boundaries are a pure
+/// function of (n, grain, pool size) and concatenation order equals
+/// iteration order, the merged output and counters are byte-identical to
+/// one serial body(0, n) pass at any thread count.
+template <typename Body>
+void ChunkedExtend(ThreadPool* pool, size_t n, size_t grain,
+                   std::vector<Tuple>* out, ExecCounters* ctr,
+                   const Body& body) {
+  const std::vector<std::pair<size_t, size_t>> ranges =
+      ChunkRanges(pool, n, grain);
+  if (ranges.empty()) return;
+  if (ranges.size() == 1) {
+    body(ranges[0].first, ranges[0].second, out, ctr);
+    return;
+  }
+  std::vector<std::vector<Tuple>> outs(ranges.size());
+  std::vector<ExecCounters> ctrs(ranges.size());
+  TaskGroup group(pool);
+  for (size_t c = 0; c < ranges.size(); ++c) {
+    group.Run([&ranges, &outs, &ctrs, &body, c] {
+      body(ranges[c].first, ranges[c].second, &outs[c], &ctrs[c]);
+    });
+  }
+  group.Wait();
+  for (size_t c = 0; c < ranges.size(); ++c) {
+    ctr->Add(ctrs[c]);
+    out->reserve(out->size() + outs[c].size());
+    std::move(outs[c].begin(), outs[c].end(), std::back_inserter(*out));
+  }
+}
+
 }  // namespace
 
 void ExecCounters::Add(const ExecCounters& other) {
@@ -101,7 +134,8 @@ void ExecCounters::Add(const ExecCounters& other) {
 
 std::vector<RankedAnswer> PlanEvaluator::Evaluate(
     const JoinPlan& plan, EvalMode mode, size_t k, RankScheme scheme,
-    double exact_penalty, ExecCounters* counters, TraceCollector* trace) {
+    double exact_penalty, ExecCounters* counters, TraceCollector* trace,
+    ThreadPool* pool) {
   // Work is tallied locally, then folded into the caller's counters and
   // the global registry — so per-call deltas are exact even when the
   // caller accumulates across plan passes.
@@ -194,27 +228,33 @@ std::vector<RankedAnswer> PlanEvaluator::Evaluate(
     Span scan_span(trace, "scan_step");
     scan_span.Annotate("step", uint64_t{0});
     scan_span.Annotate("tag", corpus.tags().Name(step0.tag));
-    for (NodeRef ref : index_->Scan(step0.tag)) {
-      ++ctr.candidates_probed;
-      if (!attrs_ok(step0, ref)) continue;
-      Tuple t;
-      t.bindings.push_back(ref);
-      bool ok = true;
-      for (const PlanPredicate& pp : step0.preds) {
-        // Step-0 predicates are contains predicates on the root variable.
-        const bool sat = holds(pp.pred, {}, ref, step_of);
-        if (sat) continue;
-        if (!pp.optional) {
-          ok = false;
-          break;
+    const std::vector<NodeRef>& scan0 = index_->Scan(step0.tag);
+    auto seed = [&](size_t begin, size_t end, std::vector<Tuple>* out,
+                    ExecCounters* c) {
+      for (size_t i = begin; i < end; ++i) {
+        const NodeRef ref = scan0[i];
+        ++c->candidates_probed;
+        if (!attrs_ok(step0, ref)) continue;
+        Tuple t;
+        t.bindings.push_back(ref);
+        bool ok = true;
+        for (const PlanPredicate& pp : step0.preds) {
+          // Step-0 predicates are contains predicates on the root variable.
+          const bool sat = holds(pp.pred, {}, ref, step_of);
+          if (sat) continue;
+          if (!pp.optional) {
+            ok = false;
+            break;
+          }
+          t.mask |= uint64_t{1} << pp.mask_bit;
+          t.penalty += pp.penalty;
         }
-        t.mask |= uint64_t{1} << pp.mask_bit;
-        t.penalty += pp.penalty;
+        if (!ok) continue;
+        ++c->tuples_created;
+        out->push_back(std::move(t));
       }
-      if (!ok) continue;
-      ++ctr.tuples_created;
-      tuples.push_back(std::move(t));
-    }
+    };
+    ChunkedExtend(pool, scan0.size(), /*grain=*/1024, &tuples, &ctr, seed);
     DominancePrune(plan.LiveSteps(0), &tuples);
     scan_span.Annotate("candidates", ctr.candidates_probed);
     scan_span.Annotate("tuples_out", static_cast<uint64_t>(tuples.size()));
@@ -265,7 +305,11 @@ std::vector<RankedAnswer> PlanEvaluator::Evaluate(
     double bound = -std::numeric_limits<double>::infinity();
     if (prune) bound = prune_bound(tuples, s - 1);
 
-    auto extend = [&](const Tuple& t, std::vector<Tuple>* out) {
+    // Extends one tuple through this step into `out`, tallying work into
+    // `c` — chunk-local when running under a pool fan-out, so the chunks
+    // never contend and their counters fold back in chunk order.
+    auto extend = [&](const Tuple& t, std::vector<Tuple>* out,
+                      ExecCounters* c) {
       const NodeRef anchor =
           t.bindings[static_cast<size_t>(step.anchor_step)];
       bool matched = false;
@@ -281,7 +325,7 @@ std::vector<RankedAnswer> PlanEvaluator::Evaluate(
           if (it->doc != anchor.doc) break;
           const Element& cand_el = corpus.node(*it);
           if (cand_el.start >= anchor_el.end) break;
-          ++ctr.candidates_probed;
+          ++c->candidates_probed;
           if (step.anchor_parent_only &&
               cand_el.level != anchor_el.level + 1) {
             continue;
@@ -303,10 +347,10 @@ std::vector<RankedAnswer> PlanEvaluator::Evaluate(
           next.bindings.push_back(*it);
           if (prune &&
               plan.base_score() - next.penalty + ks_bonus < bound) {
-            ++ctr.tuples_pruned;
+            ++c->tuples_pruned;
             continue;
           }
-          ++ctr.tuples_created;
+          ++c->tuples_created;
           out->push_back(std::move(next));
         }
       }
@@ -320,10 +364,10 @@ std::vector<RankedAnswer> PlanEvaluator::Evaluate(
           next.penalty += pp.penalty;
         }
         if (prune && plan.base_score() - next.penalty + ks_bonus < bound) {
-          ++ctr.tuples_pruned;
+          ++c->tuples_pruned;
           return;
         }
-        ++ctr.tuples_created;
+        ++c->tuples_created;
         out->push_back(std::move(next));
       }
     };
@@ -338,6 +382,12 @@ std::vector<RankedAnswer> PlanEvaluator::Evaluate(
       for (const Tuple& t : tuples) buckets[t.mask].push_back(&t);
       ctr.buckets_peak = std::max<uint64_t>(ctr.buckets_peak, buckets.size());
       uint64_t buckets_skipped = 0;
+      // Surviving buckets flatten (in mask order, document order within)
+      // into one work list the pool chunks over; the flat order equals
+      // the serial per-bucket iteration order, so the chunked merge
+      // reproduces it exactly.
+      std::vector<const Tuple*> work;
+      work.reserve(tuples.size());
       for (const auto& [mask, members] : buckets) {
         const double upper = plan.base_score() - plan.PenaltyOfMask(mask) +
                              ks_bonus;
@@ -346,8 +396,15 @@ std::vector<RankedAnswer> PlanEvaluator::Evaluate(
           ++buckets_skipped;
           continue;
         }
-        for (const Tuple* t : members) extend(*t, &out);
+        work.insert(work.end(), members.begin(), members.end());
       }
+      ChunkedExtend(pool, work.size(), /*grain=*/64, &out, &ctr,
+                    [&](size_t begin, size_t end, std::vector<Tuple>* o,
+                        ExecCounters* c) {
+                      for (size_t i = begin; i < end; ++i) {
+                        extend(*work[i], o, c);
+                      }
+                    });
       bucket_span.Annotate("buckets",
                            static_cast<uint64_t>(buckets.size()));
       bucket_span.Annotate("buckets_skipped", buckets_skipped);
@@ -371,7 +428,13 @@ std::vector<RankedAnswer> PlanEvaluator::Evaluate(
         ++ctr.score_sorts;
         ctr.score_sorted_items += tuples.size();
       }
-      for (const Tuple& t : tuples) extend(t, &out);
+      ChunkedExtend(pool, tuples.size(), /*grain=*/64, &out, &ctr,
+                    [&](size_t begin, size_t end, std::vector<Tuple>* o,
+                        ExecCounters* c) {
+                      for (size_t i = begin; i < end; ++i) {
+                        extend(tuples[i], o, c);
+                      }
+                    });
     }
     DominancePrune(plan.LiveSteps(s), &out);
     tuples = std::move(out);

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "common/trace.h"
 #include "exec/plan.h"
 #include "ir/engine.h"
@@ -74,11 +75,21 @@ class PlanEvaluator {
   /// `counters` may be null. `trace`, when non-null, receives one span
   /// per pipeline stage (contains resolution, each join step, sorts,
   /// finalize) annotated with that stage's work.
+  ///
+  /// `pool`, when non-null, data-parallelizes the scan and every join
+  /// step: sibling pattern branches make per-tuple probe work mutually
+  /// independent, so the tuple stream splits into contiguous chunks,
+  /// each worker extends its chunk against the shared immutable indexes
+  /// with chunk-local counters, and outputs/counters merge in chunk
+  /// order. The pruning bound is fixed per step before the fan-out, so
+  /// answers, scores, and every counter are byte-identical to the serial
+  /// run at any thread count (DESIGN.md §10).
   std::vector<RankedAnswer> Evaluate(const JoinPlan& plan, EvalMode mode,
                                      size_t k, RankScheme scheme,
                                      double exact_penalty,
                                      ExecCounters* counters,
-                                     TraceCollector* trace = nullptr);
+                                     TraceCollector* trace = nullptr,
+                                     ThreadPool* pool = nullptr);
 
  private:
   const ElementIndex* index_;

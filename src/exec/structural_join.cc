@@ -23,17 +23,17 @@ bool Contains(const Corpus& corpus, NodeRef anc, NodeRef desc) {
   return a.start < d.start && d.end < a.end;
 }
 
-}  // namespace
-
-std::vector<JoinPair> StructuralJoin(const Corpus& corpus,
-                                     const std::vector<NodeRef>& ancestors,
-                                     const std::vector<NodeRef>& descendants,
-                                     bool parent_only) {
-  std::vector<JoinPair> out;
+/// The stack-tree merge over descendants[d_begin, d_end). Each call
+/// walks the ancestor list from the front, so a restart mid-list (a
+/// parallel chunk) rebuilds exactly the stack the serial join would have
+/// open at that point; pairs come out in (desc, anc) order either way.
+void JoinRange(const Corpus& corpus, const std::vector<NodeRef>& ancestors,
+               const std::vector<NodeRef>& descendants, size_t d_begin,
+               size_t d_end, bool parent_only, std::vector<JoinPair>* out) {
   std::vector<NodeRef> stack;
   size_t a = 0;
-  size_t d = 0;
-  while (d < descendants.size()) {
+  size_t d = d_begin;
+  while (d < d_end) {
     const bool take_anc =
         a < ancestors.size() &&
         PosOf(corpus, ancestors[a]) < PosOf(corpus, descendants[d]);
@@ -50,15 +50,54 @@ std::vector<JoinPair> StructuralJoin(const Corpus& corpus,
         // Only the deepest open ancestor can be the parent.
         if (!stack.empty() &&
             corpus.node(stack.back()).level + 1 == corpus.node(next).level) {
-          out.push_back(JoinPair{stack.back(), next});
+          out->push_back(JoinPair{stack.back(), next});
         }
       } else {
         for (const NodeRef& anc : stack) {
-          out.push_back(JoinPair{anc, next});
+          out->push_back(JoinPair{anc, next});
         }
       }
       ++d;
     }
+  }
+}
+
+}  // namespace
+
+std::vector<JoinPair> StructuralJoin(const Corpus& corpus,
+                                     const std::vector<NodeRef>& ancestors,
+                                     const std::vector<NodeRef>& descendants,
+                                     bool parent_only) {
+  std::vector<JoinPair> out;
+  JoinRange(corpus, ancestors, descendants, 0, descendants.size(),
+            parent_only, &out);
+  return out;
+}
+
+std::vector<JoinPair> StructuralJoin(const Corpus& corpus,
+                                     const std::vector<NodeRef>& ancestors,
+                                     const std::vector<NodeRef>& descendants,
+                                     bool parent_only, ThreadPool* pool) {
+  const std::vector<std::pair<size_t, size_t>> ranges =
+      ChunkRanges(pool, descendants.size(), /*grain=*/2048);
+  if (ranges.size() <= 1) {
+    return StructuralJoin(corpus, ancestors, descendants, parent_only);
+  }
+  std::vector<std::vector<JoinPair>> outs(ranges.size());
+  TaskGroup group(pool);
+  for (size_t c = 0; c < ranges.size(); ++c) {
+    group.Run([&, c] {
+      JoinRange(corpus, ancestors, descendants, ranges[c].first,
+                ranges[c].second, parent_only, &outs[c]);
+    });
+  }
+  group.Wait();
+  size_t total = 0;
+  for (const std::vector<JoinPair>& o : outs) total += o.size();
+  std::vector<JoinPair> out;
+  out.reserve(total);
+  for (std::vector<JoinPair>& o : outs) {
+    out.insert(out.end(), o.begin(), o.end());
   }
   return out;
 }

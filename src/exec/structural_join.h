@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "xml/corpus.h"
 
 namespace flexpath {
@@ -26,6 +27,18 @@ std::vector<JoinPair> StructuralJoin(const Corpus& corpus,
                                      const std::vector<NodeRef>& ancestors,
                                      const std::vector<NodeRef>& descendants,
                                      bool parent_only);
+
+/// Parallel variant: splits the descendant list into contiguous chunks,
+/// joins each against the ancestor list on the pool (each chunk rebuilds
+/// its ancestor stack from the list's prefix), and concatenates per-chunk
+/// outputs in chunk order. A descendant's pairs depend only on the
+/// ancestors containing it, so the result — including pair order — is
+/// identical to the serial join at any thread count. Null `pool` (or one
+/// too small to help) falls through to the serial join.
+std::vector<JoinPair> StructuralJoin(const Corpus& corpus,
+                                     const std::vector<NodeRef>& ancestors,
+                                     const std::vector<NodeRef>& descendants,
+                                     bool parent_only, ThreadPool* pool);
 
 /// Naive O(|A| * |D|) reference implementation, used by tests and the
 /// ablation benchmark as the baseline the stack join is measured against.

@@ -41,6 +41,27 @@ void AnnotateCounters(Span* span, const ExecCounters& delta) {
   });
 }
 
+/// Same, for a raw span — the worker-collector path, where the round
+/// span is a collector root rather than a Span RAII handle.
+void AnnotateCounters(TraceSpan* span, const ExecCounters& delta) {
+  delta.ForEach([&](const char* name, uint64_t value) {
+    span->Annotate(std::string("counters.") + name, value);
+  });
+}
+
+/// One DPO round evaluated speculatively by a wave worker. Everything a
+/// round produces is buffered here; the merge decides — in round order —
+/// whether to accept it into the result or discard it wholesale
+/// (speculation past the serial stopping point contributes nothing, not
+/// even counters).
+struct RoundOutput {
+  Status status;  ///< Plan-build failure, if any.
+  std::vector<RankedAnswer> answers;
+  ExecCounters counters;
+  TraceSpan span;         ///< The round's finished span subtree.
+  bool has_span = false;  ///< Set on the worker-collector path only.
+};
+
 }  // namespace
 
 const char* AlgorithmName(Algorithm algo) {
@@ -77,6 +98,11 @@ Result<TopKResult> TopKProcessor::Run(const Tpq& q, Algorithm algo,
     root->Annotate("query", q.ToString(index_->corpus().tags()));
   }
   TraceCollector* trace = collector.has_value() ? &*collector : nullptr;
+  ThreadPool* pool = PoolFor(opts);
+  if (trace != nullptr) {
+    collector->current()->Annotate(
+        "threads", static_cast<uint64_t>(pool != nullptr ? pool->size() : 1));
+  }
 
   Result<TopKResult> result = [&]() -> Result<TopKResult> {
     Span pm_span(trace, "penalty_model");
@@ -84,11 +110,11 @@ Result<TopKResult> TopKProcessor::Run(const Tpq& q, Algorithm algo,
     pm_span.Close();
     switch (algo) {
       case Algorithm::kDpo:
-        return RunDpo(q, opts, pm, trace);
+        return RunDpo(q, opts, pm, trace, pool);
       case Algorithm::kSso:
-        return RunEncoded(q, opts, pm, EvalMode::kSsoFlat, trace);
+        return RunEncoded(q, opts, pm, EvalMode::kSsoFlat, trace, pool);
       case Algorithm::kHybrid:
-        return RunEncoded(q, opts, pm, EvalMode::kHybridBuckets, trace);
+        return RunEncoded(q, opts, pm, EvalMode::kHybridBuckets, trace, pool);
     }
     return Status::InvalidArgument("unknown algorithm");
   }();
@@ -173,7 +199,8 @@ Result<TopKResult> TopKProcessor::Run(const Tpq& q, Algorithm algo,
 Result<TopKResult> TopKProcessor::RunDpo(const Tpq& q,
                                          const TopKOptions& opts,
                                          const PenaltyModel& pm,
-                                         TraceCollector* trace) {
+                                         TraceCollector* trace,
+                                         ThreadPool* pool) {
   TopKResult result;
   Span schedule_span(trace, "build_schedule");
   const std::vector<ScheduleEntry> schedule = BuildSchedule(q, pm);
@@ -186,6 +213,7 @@ Result<TopKResult> TopKProcessor::RunDpo(const Tpq& q,
   // below (K-th round's score − m), m = total contains weight.
   std::unordered_set<NodeRef, NodeRefHash> seen;
   double stop_below = -std::numeric_limits<double>::infinity();
+  const double base = BaseStructuralScore(q, opts.weights);
   const double m = [&] {
     double total = 0.0;
     for (VarId v : q.Vars()) {
@@ -196,48 +224,58 @@ Result<TopKResult> TopKProcessor::RunDpo(const Tpq& q,
     return total;
   }();
 
-  for (size_t round = 0; round <= schedule.size(); ++round) {
-    const Tpq& relaxed = round == 0 ? q : schedule[round - 1].relaxed;
-    const double penalty =
-        round == 0 ? 0.0 : schedule[round - 1].cumulative_penalty;
-    if (opts.scheme == RankScheme::kCombined &&
-        BaseStructuralScore(q, opts.weights) - penalty < stop_below) {
-      break;
-    }
-    // Round 0 evaluates the unrelaxed query; every later span is one
-    // relaxation round proper, so a DPO trace carries exactly
-    // `relaxations_used` spans named "relaxation_round".
-    Span round_span(trace,
-                    round == 0 ? "initial_round" : "relaxation_round");
-    round_span.Annotate("round", static_cast<uint64_t>(round));
-    round_span.Annotate("penalty", penalty);
+  auto round_penalty = [&](size_t round) {
+    return round == 0 ? 0.0 : schedule[round - 1].cumulative_penalty;
+  };
+
+  // Annotates a round span (RAII or collector-root) with the round's
+  // identity — shared by the serial and worker paths so both produce the
+  // same span, in the same annotation order.
+  auto annotate_round = [&](auto* span, size_t round) {
+    span->Annotate("round", static_cast<uint64_t>(round));
+    span->Annotate("penalty", round_penalty(round));
     if (round > 0) {
       const ScheduleEntry& entry = schedule[round - 1];
-      round_span.Annotate("op", entry.op.ToString());
-      round_span.Annotate("step_penalty", entry.step_penalty);
+      span->Annotate("op", entry.op.ToString());
+      span->Annotate("step_penalty", entry.step_penalty);
       std::vector<std::string> dropped;
       dropped.reserve(entry.dropped.size());
       for (const Predicate& p : entry.dropped) {
         dropped.push_back(p.ToString(&index_->corpus().tags()));
       }
-      round_span.Annotate("dropped", Join(dropped, ", "));
+      span->Annotate("dropped", Join(dropped, ", "));
     }
-    Span build_span(trace, "plan_build");
-    Result<JoinPlan> plan =
-        JoinPlan::Build(q, relaxed, {}, pm, opts.weights);
+  };
+
+  // Builds and evaluates one round's plan. `evpool` parallelizes within
+  // the plan — non-null only when the round itself runs on the calling
+  // thread (a worker-side nested fan-out would run inline anyway).
+  auto eval_round = [&](size_t round, TraceCollector* rc, ThreadPool* evpool,
+                        RoundOutput* out) {
+    const Tpq& relaxed = round == 0 ? q : schedule[round - 1].relaxed;
+    Span build_span(rc, "plan_build");
+    Result<JoinPlan> plan = JoinPlan::Build(q, relaxed, {}, pm, opts.weights);
     build_span.Close();
-    if (!plan.ok()) return plan.status();
-    ExecCounters round_counters;
-    std::vector<RankedAnswer> round_answers = evaluator_.Evaluate(
-        *plan, EvalMode::kExact, opts.k, opts.scheme, penalty,
-        &round_counters, trace);
-    result.counters.Add(round_counters);
-    AnnotateCounters(&round_span, round_counters);
+    if (!plan.ok()) {
+      out->status = plan.status();
+      return;
+    }
+    out->answers = evaluator_.Evaluate(*plan, EvalMode::kExact, opts.k,
+                                       opts.scheme, round_penalty(round),
+                                       &out->counters, rc, evpool);
+  };
+
+  // Merges one evaluated round into the result, replaying the serial
+  // loop's bookkeeping. Returns true when the run is complete (a
+  // stopping rule fired); later speculative rounds are then discarded.
+  auto merge_round = [&](size_t round, RoundOutput&& out,
+                         Span* inline_span) -> bool {
+    result.counters.Add(out.counters);
     // DPO appends: later rounds never outrank earlier ones
     // (structure-first), so no resorting — answers seen before keep
     // their earlier (higher) score.
     size_t new_answers = 0;
-    for (RankedAnswer& a : round_answers) {
+    for (RankedAnswer& a : out.answers) {
       if (seen.insert(a.node).second) {
         result.answers.push_back(std::move(a));
         ++new_answers;
@@ -245,19 +283,105 @@ Result<TopKResult> TopKProcessor::RunDpo(const Tpq& q,
     }
     result.relaxations_used = round;
     if (round > 0) {
-      result.penalty_applied = penalty;
+      result.penalty_applied = round_penalty(round);
       result.predicates_dropped = schedule[round - 1].dropped.size();
     }
-    round_span.Annotate("new_answers", static_cast<uint64_t>(new_answers));
-    round_span.Annotate("answers_so_far",
+    if (inline_span != nullptr) {
+      inline_span->Annotate("new_answers",
+                            static_cast<uint64_t>(new_answers));
+      inline_span->Annotate("answers_so_far",
+                            static_cast<uint64_t>(result.answers.size()));
+    } else if (out.has_span) {
+      out.span.Annotate("new_answers", static_cast<uint64_t>(new_answers));
+      out.span.Annotate("answers_so_far",
                         static_cast<uint64_t>(result.answers.size()));
+      trace->Adopt(std::move(out.span));
+    }
     const bool have_k = result.answers.size() >= opts.k;
-    if (opts.scheme == RankScheme::kStructureFirst && have_k) break;
+    if (opts.scheme == RankScheme::kStructureFirst && have_k) return true;
     if (opts.scheme == RankScheme::kCombined && have_k &&
         stop_below == -std::numeric_limits<double>::infinity()) {
-      stop_below = BaseStructuralScore(q, opts.weights) - penalty - m;
+      stop_below = base - round_penalty(round) - m;
     }
     // keyword-first: run every round.
+    return false;
+  };
+
+  // Rounds run in waves of speculative evaluations: sizes 1, 2, 4, ...
+  // capped at the pool size, so the common case (round 0 already yields
+  // K answers) wastes nothing, while relaxation-heavy queries quickly
+  // saturate the pool. A wave of one runs inline on this thread with
+  // within-plan parallelism; larger waves put one whole round per
+  // worker. The merge replays rounds strictly in round order, so output
+  // and counters match the serial loop exactly at any thread count.
+  size_t next_round = 0;
+  size_t wave = 1;
+  bool done = false;
+  while (!done && next_round <= schedule.size()) {
+    const size_t wave_n =
+        std::min(wave, schedule.size() + 1 - next_round);
+    if (wave_n == 1 || pool == nullptr) {
+      const size_t round = next_round;
+      if (opts.scheme == RankScheme::kCombined &&
+          base - round_penalty(round) < stop_below) {
+        break;
+      }
+      // Round 0 evaluates the unrelaxed query; every later span is one
+      // relaxation round proper, so a DPO trace carries exactly
+      // `relaxations_used` spans named "relaxation_round".
+      Span round_span(trace,
+                      round == 0 ? "initial_round" : "relaxation_round");
+      annotate_round(&round_span, round);
+      RoundOutput out;
+      eval_round(round, trace, pool, &out);
+      if (!out.status.ok()) return out.status;
+      AnnotateCounters(&round_span, out.counters);
+      done = merge_round(round, std::move(out), &round_span);
+      ++next_round;
+    } else {
+      // Spawn the wave. Each worker assembles its round's span subtree in
+      // its own collector (root = the round span); the merge grafts
+      // accepted subtrees into the parent trace in round order, shifted
+      // onto the parent timeline by the wave's launch offset.
+      const double offset = trace != nullptr ? trace->NowMs() : 0.0;
+      std::vector<RoundOutput> outs(wave_n);
+      TaskGroup group(pool);
+      for (size_t i = 0; i < wave_n; ++i) {
+        const size_t round = next_round + i;
+        group.Run([&, round, i] {
+          RoundOutput* out = &outs[i];
+          std::optional<TraceCollector> wc;
+          if (trace != nullptr) {
+            wc.emplace(round == 0 ? "initial_round" : "relaxation_round");
+            annotate_round(wc->current(), round);
+            wc->current()->Annotate(
+                "worker",
+                static_cast<uint64_t>(ThreadPool::CurrentWorkerId()));
+          }
+          eval_round(round, wc.has_value() ? &*wc : nullptr, nullptr, out);
+          if (wc.has_value()) {
+            AnnotateCounters(wc->current(), out->counters);
+            QueryTrace t = wc->Finish();
+            t.root.ShiftBy(offset);
+            out->span = std::move(t.root);
+            out->has_span = true;
+          }
+        });
+      }
+      group.Wait();
+      for (size_t i = 0; i < wave_n && !done; ++i) {
+        const size_t round = next_round + i;
+        if (opts.scheme == RankScheme::kCombined &&
+            base - round_penalty(round) < stop_below) {
+          done = true;
+          break;
+        }
+        if (!outs[i].status.ok()) return outs[i].status;
+        done = merge_round(round, std::move(outs[i]), nullptr);
+      }
+      next_round += wave_n;
+    }
+    if (pool != nullptr) wave = std::min(wave * 2, pool->size());
   }
 
   SortByScheme(&result.answers, opts.scheme);
@@ -269,7 +393,8 @@ Result<TopKResult> TopKProcessor::RunEncoded(const Tpq& q,
                                              const TopKOptions& opts,
                                              const PenaltyModel& pm,
                                              EvalMode mode,
-                                             TraceCollector* trace) {
+                                             TraceCollector* trace,
+                                             ThreadPool* pool) {
   TopKResult result;
   Span schedule_span(trace, "build_schedule");
   const std::vector<ScheduleEntry> schedule = BuildSchedule(q, pm);
@@ -324,9 +449,12 @@ Result<TopKResult> TopKProcessor::RunEncoded(const Tpq& q,
     if (!plan.ok()) return plan.status();
     const uint64_t pruned_before = result.counters.tuples_pruned;
     ExecCounters pass_counters;
+    // SSO/Hybrid encode the whole relaxation batch into this one plan, so
+    // the pass itself is the parallel unit: the evaluator fans each join
+    // step out over tuple chunks on the pool.
     result.answers = evaluator_.Evaluate(*plan, mode, prune ? opts.k : 0,
                                          opts.scheme, 0.0, &pass_counters,
-                                         trace);
+                                         trace, pool);
     result.counters.Add(pass_counters);
     AnnotateCounters(&pass_span, pass_counters);
     pass_span.Annotate("answers",
@@ -353,6 +481,16 @@ Result<TopKResult> TopKProcessor::RunEncoded(const Tpq& q,
 
   if (result.answers.size() > opts.k) result.answers.resize(opts.k);
   return result;
+}
+
+ThreadPool* TopKProcessor::PoolFor(const TopKOptions& opts) {
+  const size_t n = opts.num_threads == 0 ? ThreadPool::HardwareConcurrency()
+                                         : opts.num_threads;
+  if (n <= 1) return nullptr;
+  std::lock_guard<std::mutex> lock(pools_mu_);
+  std::unique_ptr<ThreadPool>& slot = pools_[n];
+  if (slot == nullptr) slot = std::make_unique<ThreadPool>(n);
+  return slot.get();
 }
 
 }  // namespace flexpath

@@ -1,10 +1,13 @@
 #ifndef FLEXPATH_EXEC_TOPK_H_
 #define FLEXPATH_EXEC_TOPK_H_
 
+#include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "common/trace.h"
 #include "exec/evaluator.h"
 #include "exec/selectivity.h"
@@ -46,6 +49,16 @@ struct TopKOptions {
   /// forced on for such runs so the log can carry the span tree.
   /// Negative (the default) disables the slow-query log.
   double slow_query_ms = -1.0;
+  /// Worker threads for this run. 0 (the default) means hardware
+  /// concurrency; 1 runs the fully serial path (no pool is ever
+  /// touched). Parallelism never changes results: DPO evaluates
+  /// relaxation rounds speculatively in waves and a deterministic merge
+  /// replays the serial stopping rules in round order (discarding
+  /// speculative rounds past the stopping point, counters included);
+  /// within one plan, join steps fan out over tuple chunks whose outputs
+  /// and counters merge in chunk order. Answers, penalties, counters and
+  /// trace structure are identical at any thread count (DESIGN.md §10).
+  size_t num_threads = 0;
 };
 
 struct TopKResult {
@@ -87,16 +100,25 @@ class TopKProcessor {
 
  private:
   Result<TopKResult> RunDpo(const Tpq& q, const TopKOptions& opts,
-                            const PenaltyModel& pm, TraceCollector* trace);
+                            const PenaltyModel& pm, TraceCollector* trace,
+                            ThreadPool* pool);
   Result<TopKResult> RunEncoded(const Tpq& q, const TopKOptions& opts,
                                 const PenaltyModel& pm, EvalMode mode,
-                                TraceCollector* trace);
+                                TraceCollector* trace, ThreadPool* pool);
+
+  /// The pool serving `opts.num_threads`, or null for a serial run.
+  /// Pools are created on first use and cached per size for the
+  /// processor's lifetime, so concurrent Run() calls (even with different
+  /// thread counts) share pools safely and never race a pool teardown.
+  ThreadPool* PoolFor(const TopKOptions& opts);
 
   const ElementIndex* index_;
   const DocumentStats* stats_;
   IrEngine* ir_;
   QueryStatsStore* query_stats_;
   PlanEvaluator evaluator_;
+  std::mutex pools_mu_;
+  std::map<size_t, std::unique_ptr<ThreadPool>> pools_;
 };
 
 }  // namespace flexpath

@@ -2,6 +2,7 @@
 #define FLEXPATH_IR_ENGINE_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -47,7 +48,8 @@ class ContainsResult {
   double BestScoreWithin(NodeRef context) const;
 
   /// Number of satisfying elements whose tag is `tag` — the paper's
-  /// #contains(t, FTExp) statistic used in penalties. Cached per tag.
+  /// #contains(t, FTExp) statistic used in penalties. Cached per tag;
+  /// safe to call from concurrent query workers.
   size_t CountWithTag(TagId tag) const;
 
  private:
@@ -57,6 +59,10 @@ class ContainsResult {
   /// Sparse table over most_specific_ scores: level l holds the max over
   /// windows of length 2^l.
   std::vector<std::vector<double>> rmq_;
+  /// Guards tag_counts_ — the only mutable state; everything else is
+  /// read-only after construction, so Satisfies/BestScoreWithin need no
+  /// locking.
+  mutable std::mutex tag_counts_mu_;
   mutable std::unordered_map<TagId, size_t> tag_counts_;
 };
 
@@ -72,7 +78,10 @@ class IrEngine {
   IrEngine(const IrEngine&) = delete;
   IrEngine& operator=(const IrEngine&) = delete;
 
-  /// Evaluates `expr`, returning a cached result.
+  /// Evaluates `expr`, returning a cached result. Safe to call from
+  /// concurrent query workers: the cache is mutex-guarded (first-time
+  /// evaluation of an expression serializes; hits are a lookup under the
+  /// lock), and returned pointers stay valid for the engine's lifetime.
   const ContainsResult* Evaluate(const FtExpr& expr);
 
   const InvertedIndex& index() const { return index_; }
@@ -100,6 +109,7 @@ class IrEngine {
 
   const Corpus* corpus_;
   InvertedIndex index_;
+  std::mutex cache_mu_;
   std::unordered_map<std::string, std::unique_ptr<ContainsResult>> cache_;
 };
 

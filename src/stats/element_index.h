@@ -2,6 +2,7 @@
 #define FLEXPATH_STATS_ELEMENT_INDEX_H_
 
 #include <map>
+#include <mutex>
 #include <vector>
 
 #include "xml/corpus.h"
@@ -29,7 +30,9 @@ class ElementIndex {
   ElementIndex& operator=(const ElementIndex&) = delete;
 
   /// Elements with tag `tag` (or a subtype), in document order. Empty
-  /// list for unknown tags (including kInvalidTag).
+  /// list for unknown tags (including kInvalidTag). Safe to call from
+  /// concurrent query workers; returned references stay valid for the
+  /// index's lifetime.
   const std::vector<NodeRef>& Scan(TagId tag) const;
 
   /// Number of elements the scan returns — #(t), subtypes included.
@@ -42,7 +45,10 @@ class ElementIndex {
   const Corpus* corpus_;
   const TypeHierarchy* hierarchy_;
   std::vector<std::vector<NodeRef>> by_tag_;  ///< Indexed by TagId.
-  /// Lazily merged supertype scans (only when hierarchy_ is set).
+  /// Lazily merged supertype scans (only when hierarchy_ is set). A
+  /// node-based map so references handed out stay valid while the guarded
+  /// cache keeps growing under concurrent Scan calls.
+  mutable std::mutex merged_mu_;
   mutable std::map<TagId, std::vector<NodeRef>> merged_;
   std::vector<NodeRef> empty_;
 };

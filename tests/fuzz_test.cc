@@ -1,10 +1,21 @@
 // Robustness fuzzing (deterministic): random and mutated inputs must
-// never crash the parsers — they either parse or return a ParseError.
+// never crash the parsers — they either parse or return a ParseError —
+// and the thread-pool primitives must survive adversarial usage
+// (concurrent submitters, tasks spawning tasks, teardown under load,
+// exceptions, empty fan-outs).
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <numeric>
+#include <stdexcept>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "common/random.h"
+#include "common/thread_pool.h"
 #include "ir/ft_expr.h"
 #include "query/xpath_parser.h"
 #include "xml/parser.h"
@@ -86,6 +97,121 @@ TEST(FuzzTest, XPathParserSurvivesRandomInput) {
   for (int i = 0; i < 300; ++i) {
     TagDict dict;
     (void)ParseXPath(RandomBytes(&rng, 100), &dict);
+  }
+}
+
+// --- Thread-pool stress ----------------------------------------------------
+
+TEST(ThreadPoolFuzzTest, ConcurrentSubmittersAndTeardownUnderLoad) {
+  // Several external threads hammer Submit() while the pool is busy;
+  // destruction then races a still-full queue. The destructor contract
+  // says every queued task runs before the workers exit, so the counter
+  // must be exact — no lost and no double-run tasks.
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<uint64_t> ran{0};
+    constexpr int kSubmitters = 4;
+    constexpr int kPerSubmitter = 250;
+    {
+      ThreadPool pool(4);
+      std::vector<std::thread> submitters;
+      submitters.reserve(kSubmitters);
+      for (int s = 0; s < kSubmitters; ++s) {
+        submitters.emplace_back([&pool, &ran] {
+          for (int i = 0; i < kPerSubmitter; ++i) {
+            pool.Submit([&ran] { ran.fetch_add(1); });
+          }
+        });
+      }
+      for (std::thread& t : submitters) t.join();
+      // Pool destructor runs here with much of the queue still pending.
+    }
+    EXPECT_EQ(ran.load(), uint64_t{kSubmitters * kPerSubmitter})
+        << "round " << round;
+  }
+}
+
+TEST(ThreadPoolFuzzTest, TasksSubmittingTasks) {
+  // A task may enqueue follow-up work; the destructor must drain the
+  // transitively submitted tasks too. Each root task spawns a short
+  // chain, so losing any link shows up in the count.
+  std::atomic<uint64_t> ran{0};
+  constexpr int kRoots = 100;
+  constexpr int kChain = 5;
+  {
+    ThreadPool pool(3);
+    // Recursive lambdas need an explicit holder; keep it alive until the
+    // pool (destroyed first, draining all tasks) is gone.
+    auto spawn = std::make_shared<std::function<void(int)>>();
+    *spawn = [&pool, &ran, spawn](int remaining) {
+      ran.fetch_add(1);
+      if (remaining > 0) {
+        pool.Submit([spawn, remaining] { (*spawn)(remaining - 1); });
+      }
+    };
+    for (int i = 0; i < kRoots; ++i) {
+      pool.Submit([spawn] { (*spawn)(kChain - 1); });
+    }
+  }
+  EXPECT_EQ(ran.load(), uint64_t{kRoots * kChain});
+}
+
+TEST(ThreadPoolFuzzTest, TaskGroupPropagatesFirstExceptionBySubmission) {
+  // Several tasks throw; Wait() must re-throw the *first by submission
+  // order* regardless of which worker finished first, and every task
+  // must still have run.
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> ran{0};
+    TaskGroup group(&pool);
+    for (int i = 0; i < 16; ++i) {
+      group.Run([&ran, i] {
+        ran.fetch_add(1);
+        if (i % 3 == 1) {  // tasks 1, 4, 7, ... throw; 1 must win.
+          throw std::runtime_error("task " + std::to_string(i));
+        }
+      });
+    }
+    try {
+      group.Wait();
+      FAIL() << "Wait() swallowed the exceptions, round " << round;
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "task 1") << "round " << round;
+    }
+    EXPECT_EQ(ran.load(), 16) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolFuzzTest, ParallelForZeroTasksAndEdgeChunks) {
+  ThreadPool pool(4);
+  // n == 0: no body call, no hang.
+  ParallelFor(&pool, 0, 16, [](size_t, size_t) {
+    FAIL() << "body called for n == 0";
+  });
+  EXPECT_TRUE(ChunkRanges(&pool, 0, 16).empty());
+
+  // Random (n, grain) pairs: chunks must tile [0, n) exactly, in order.
+  Rng rng(1005);
+  for (int i = 0; i < 200; ++i) {
+    const size_t n = rng.Uniform(5000);
+    const size_t grain = 1 + rng.Uniform(300);
+    const auto ranges = ChunkRanges(&pool, n, grain);
+    size_t next = 0;
+    for (const auto& [begin, end] : ranges) {
+      EXPECT_EQ(begin, next);
+      EXPECT_LT(begin, end);
+      next = end;
+    }
+    EXPECT_EQ(next, n);
+
+    // ParallelFor visits every index exactly once.
+    std::vector<std::atomic<uint32_t>> hits(n);
+    ParallelFor(&pool, n, grain, [&hits](size_t begin, size_t end) {
+      for (size_t j = begin; j < end; ++j) hits[j].fetch_add(1);
+    });
+    const bool all_once =
+        std::all_of(hits.begin(), hits.end(),
+                    [](const std::atomic<uint32_t>& h) { return h == 1; });
+    EXPECT_TRUE(all_once) << "n=" << n << " grain=" << grain;
   }
 }
 

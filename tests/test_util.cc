@@ -95,5 +95,30 @@ Document RandomDocument(Rng* rng, TagDict* dict, size_t max_nodes) {
   return std::move(doc).value();
 }
 
+Tpq RandomTpq(Rng* rng, TagDict* dict, size_t max_nodes) {
+  static constexpr const char* kTags[] = {"a", "b", "c", "d", "e", "f"};
+  static constexpr const char* kWords[] = {"red",  "green", "blue",
+                                           "gold", "iron",  "salt"};
+  assert(max_nodes >= 2);
+  const size_t n = 2 + rng->Uniform(max_nodes - 1);
+  Tpq q;
+  std::vector<VarId> vars;
+  vars.push_back(q.AddRoot(dict->Intern(kTags[rng->Uniform(6)])));
+  for (size_t i = 1; i < n; ++i) {
+    const VarId parent = vars[rng->Uniform(vars.size())];
+    const Axis axis = rng->Bernoulli(0.5) ? Axis::kChild : Axis::kDescendant;
+    vars.push_back(
+        q.AddChild(parent, axis, dict->Intern(kTags[rng->Uniform(6)])));
+  }
+  for (VarId v : vars) {
+    if (rng->Bernoulli(0.3)) {
+      q.AddContains(v, FtExpr::Term(kWords[rng->Uniform(6)]));
+    }
+  }
+  q.SetDistinguished(vars[rng->Uniform(vars.size())]);
+  assert(q.Validate().ok());
+  return q;
+}
+
 }  // namespace testing_util
 }  // namespace flexpath

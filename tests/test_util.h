@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "query/tpq.h"
 #include "xml/corpus.h"
 
 namespace flexpath {
@@ -30,6 +31,14 @@ std::unique_ptr<Corpus> ArticleCorpus();
 /// used by property tests that compare engines. Shape: up to `max_nodes`
 /// elements, tags a..f, random text drawn from a tiny vocabulary.
 Document RandomDocument(Rng* rng, TagDict* dict, size_t max_nodes);
+
+/// Generates a random tree pattern query over RandomDocument's alphabet:
+/// 2..max_nodes nodes (tags a..f), each attached to a random earlier node
+/// by a random pc/ad axis, occasional contains predicates over the same
+/// tiny vocabulary, and a randomly distinguished variable. Always passes
+/// Tpq::Validate(); no wildcards or attribute predicates, so every query
+/// is evaluable by both the join pipeline and the naive oracle.
+Tpq RandomTpq(Rng* rng, TagDict* dict, size_t max_nodes);
 
 }  // namespace testing_util
 }  // namespace flexpath

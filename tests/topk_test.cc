@@ -1,5 +1,6 @@
 #include <algorithm>
 #include <set>
+#include <string_view>
 #include <tuple>
 #include <vector>
 
@@ -196,6 +197,41 @@ TEST_F(TopKTest, CombinedSchemeOrdersBySum) {
   for (size_t i = 1; i < result->answers.size(); ++i) {
     EXPECT_GE(result->answers[i - 1].score.Combined(),
               result->answers[i].score.Combined() - 1e-9);
+  }
+}
+
+TEST_F(TopKTest, DpoCountersIdenticalAcrossThreadCounts) {
+  // Regression test for the Run() counter race: DPO rounds used to bump
+  // shared counters from worker threads directly, so an 8-thread run
+  // could lose or over-count increments (and count rounds a serial run
+  // would never have executed). Counters are now accumulated per round
+  // and aggregated by the deterministic merge, in round order, only for
+  // the rounds the serial stopping rules accept — every field must match
+  // the serial run exactly.
+  Tpq q = Parse(kQ1);
+  for (RankScheme scheme :
+       {RankScheme::kStructureFirst, RankScheme::kCombined}) {
+    TopKOptions opts;
+    opts.k = 5;
+    opts.scheme = scheme;
+    opts.num_threads = 1;
+    Result<TopKResult> serial = processor_->Run(q, Algorithm::kDpo, opts);
+    ASSERT_TRUE(serial.ok());
+
+    opts.num_threads = 8;
+    Result<TopKResult> parallel = processor_->Run(q, Algorithm::kDpo, opts);
+    ASSERT_TRUE(parallel.ok());
+
+    const ExecCounters& s = serial->counters;
+    parallel->counters.ForEach([&s](const char* name, uint64_t value) {
+      uint64_t expected = 0;
+      s.ForEach([&](const char* sname, uint64_t svalue) {
+        if (std::string_view(sname) == name) expected = svalue;
+      });
+      EXPECT_EQ(value, expected) << name;
+    });
+    EXPECT_EQ(parallel->relaxations_used, serial->relaxations_used);
+    EXPECT_EQ(parallel->penalty_applied, serial->penalty_applied);
   }
 }
 
