@@ -1,0 +1,37 @@
+// Scratch check for the thread-safety CI gate — NOT part of the build.
+//
+// This translation unit contains a deliberate lock-discipline violation:
+// `balance_` is GUARDED_BY(mu_) but UnsafeRead() touches it without the
+// mutex held. Under `clang++ -Wthread-safety -Werror=thread-safety` it
+// must FAIL to compile; the CI job compiles it expecting failure, which
+// proves the gate actually fires (annotations wired through
+// common/mutex.h, warning enabled, promoted to an error) rather than
+// silently passing everything. Under GCC the annotations are no-ops and
+// the file is valid C++ — it is simply never built there.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int amount) {
+    flexpath::MutexLock lock(mu_);
+    balance_ += amount;
+  }
+
+  // The seeded violation: reads guarded state with no capability held.
+  int UnsafeRead() const { return balance_; }
+
+ private:
+  mutable flexpath::Mutex mu_;
+  int balance_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(1);
+  return account.UnsafeRead();
+}

@@ -10,6 +10,15 @@
 //                                            # predicates, counter deltas)
 //   flexpath_cli --xmark 5 --explain-json "<xpath>"
 //                                            # same, as a JSON trace
+//   flexpath_cli --xmark 5 --check "<xpath>"
+//                                            # one-shot static analysis:
+//                                            # run the semantic analyzer
+//                                            # (closure rules + corpus
+//                                            # statistics), print the
+//                                            # diagnostics, exit 1 if any
+//                                            # error (unsatisfiable query)
+//   flexpath_cli --xmark 5 --check-json "<xpath>"
+//                                            # same, as a JSON report
 //
 // Commands (one per line):
 //   <xpath>                    run a top-K query (default settings)
@@ -20,12 +29,17 @@
 //                              results are identical either way)
 //   :explain <xpath>           show closure, operators and the schedule
 //   :analyze <xpath>           run with tracing, print the span tree
+//   :lint <xpath>              static analysis: semantic diagnostics plus
+//                              a Theorem-2 verification of the schedule
 //   :synonym A B               register B as a synonym of A
-//   :subtype SUPER SUB         declare SUB a subtype of SUPER (pre-Build
-//                              only, so available via --prelude)
 //   :stats                     corpus + per-query-shape statistics
 //   :slowlog                   slow-query log (see --slow-query-ms)
 //   :help / :quit
+//
+// Corpus flags:
+//   --subtype SUPER SUB        declare SUB a subtype of SUPER before the
+//                              index is built (tag generalization,
+//                              Section 3.4); repeatable
 //
 // Observability flags:
 //   --log-json                 structured logs as JSON lines on stderr
@@ -73,6 +87,7 @@ void PrintHelp() {
       "  :threads N               worker threads (0 = all cores, 1 = serial)\n"
       "  :explain <xpath>         closure, operators, schedule\n"
       "  :analyze <xpath>         run with tracing, print the span tree\n"
+      "  :lint <xpath>            static diagnostics + schedule verification\n"
       "  :synonym A B             thesaurus entry (B relaxes A)\n"
       "  :stats                   corpus + per-query-shape statistics\n"
       "  :slowlog                 slow-query log\n"
@@ -162,6 +177,59 @@ int ExplainAnalyze(CliState& state, const std::string& xpath,
                 result->answers.size(), result->relaxations_used);
   }
   return 0;
+}
+
+// Static analysis (--check / --check-json): parses the query and runs
+// the semantic analyzer — closure-based structural checks plus
+// corpus-level unsatisfiability. Exit status 1 when the report carries
+// an error (the query, or some relaxation round, is provably useless).
+int Check(CliState& state, const std::string& xpath, bool as_json) {
+  flexpath::Result<flexpath::AnalysisReport> report =
+      state.fp.AnalyzeXPath(xpath);
+  if (!report.ok()) {
+    std::printf("error: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  if (as_json) {
+    std::printf("%s\n", flexpath::DiagnosticsJson(*report).c_str());
+  } else if (report->diagnostics.empty()) {
+    std::printf("no diagnostics\n");
+  } else {
+    for (const flexpath::Diagnostic& d : report->diagnostics) {
+      std::printf("%s\n", d.ToString().c_str());
+    }
+  }
+  return report->ErrorCount() > 0 ? 1 : 0;
+}
+
+// :lint — the --check diagnostics plus the relaxation-plan verifier:
+// every schedule entry is checked against Theorem 2 (V001-V006) and
+// provably-empty rounds are called out; those are exactly the rounds
+// TopKOptions::static_prune skips at execution time.
+void Lint(CliState& state, const std::string& xpath) {
+  flexpath::Result<flexpath::Tpq> q = state.fp.Parse(xpath);
+  if (!q.ok()) {
+    std::printf("error: %s\n", q.status().ToString().c_str());
+    return;
+  }
+  flexpath::AnalysisReport report = state.fp.Analyze(*q);
+  if (report.diagnostics.empty()) {
+    std::printf("no diagnostics\n");
+  } else {
+    for (const flexpath::Diagnostic& d : report.diagnostics) {
+      std::printf("%s\n", d.ToString().c_str());
+    }
+  }
+  flexpath::Result<std::vector<flexpath::PlanVerdict>> verdicts =
+      state.fp.VerifySchedule(*q);
+  if (!verdicts.ok()) {
+    std::printf("error: %s\n", verdicts.status().ToString().c_str());
+    return;
+  }
+  std::printf("schedule: %zu relaxations\n", verdicts->size());
+  for (size_t i = 0; i < verdicts->size(); ++i) {
+    std::printf("  %2zu. %s\n", i + 1, (*verdicts)[i].ToString().c_str());
+  }
 }
 
 void PrintStats(CliState& state) {
@@ -278,6 +346,10 @@ int Repl(CliState& state) {
       std::getline(words, rest);
       ExplainAnalyze(state, std::string(flexpath::Trim(rest)),
                      /*as_json=*/false);
+    } else if (cmd == ":lint") {
+      std::string rest;
+      std::getline(words, rest);
+      Lint(state, std::string(flexpath::Trim(rest)));
     } else if (cmd == ":synonym") {
       std::string a, b;
       if (words >> a >> b) {
@@ -305,6 +377,8 @@ int main(int argc, char** argv) {
   bool metrics_prom = false;
   const char* explain_query = nullptr;
   bool explain_json = false;
+  const char* check_query = nullptr;
+  bool check_json = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--log-json") == 0) {
       flexpath::Logger::Global().SetJsonOutput(true);
@@ -341,6 +415,28 @@ int main(int argc, char** argv) {
       explain_query = argv[++i];
       continue;
     }
+    if (std::strcmp(argv[i], "--check") == 0 ||
+        std::strcmp(argv[i], "--check-json") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a query argument\n", argv[i]);
+        return 2;
+      }
+      check_json = std::strcmp(argv[i], "--check-json") == 0;
+      check_query = argv[++i];
+      continue;
+    }
+    if (std::strcmp(argv[i], "--subtype") == 0 && i + 2 < argc) {
+      const flexpath::TagId super = state.fp.tags()->Intern(argv[i + 1]);
+      const flexpath::TagId sub = state.fp.tags()->Intern(argv[i + 2]);
+      i += 2;
+      if (flexpath::Status st =
+              state.fp.type_hierarchy()->AddSubtype(super, sub);
+          !st.ok()) {
+        std::fprintf(stderr, "--subtype: %s\n", st.ToString().c_str());
+        return 2;
+      }
+      continue;
+    }
     if (std::strcmp(argv[i], "--xmark") == 0 && i + 1 < argc) {
       flexpath::XMarkOptions opts;
       opts.target_bytes = static_cast<uint64_t>(
@@ -367,11 +463,13 @@ int main(int argc, char** argv) {
   if (!loaded) {
     std::fprintf(stderr,
                  "usage: %s [--xmark MB] [--explain \"<xpath>\"] "
-                 "[--explain-json \"<xpath>\"] [--log-json] "
-                 "[--log-level L] [--slow-query-ms N] [--threads N] "
-                 "[--metrics-prom] [file.xml ...]\n"
+                 "[--explain-json \"<xpath>\"] [--check \"<xpath>\"] "
+                 "[--check-json \"<xpath>\"] [--subtype SUPER SUB] "
+                 "[--log-json] [--log-level L] [--slow-query-ms N] "
+                 "[--threads N] [--metrics-prom] [file.xml ...]\n"
                  "loads documents, then starts an interactive shell;\n"
                  "--explain runs one traced query and exits;\n"
+                 "--check runs the static analyzer and exits (1 on error);\n"
                  "--metrics-prom prints Prometheus metrics on exit\n",
                  argv[0]);
     return 2;
@@ -381,7 +479,9 @@ int main(int argc, char** argv) {
     return 1;
   }
   int rc = 0;
-  if (explain_query != nullptr) {
+  if (check_query != nullptr) {
+    rc = Check(state, check_query, check_json);
+  } else if (explain_query != nullptr) {
     rc = ExplainAnalyze(state, explain_query, explain_json);
   } else {
     PrintStats(state);

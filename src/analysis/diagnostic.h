@@ -1,0 +1,86 @@
+#ifndef FLEXPATH_ANALYSIS_DIAGNOSTIC_H_
+#define FLEXPATH_ANALYSIS_DIAGNOSTIC_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "query/predicate.h"
+
+namespace flexpath {
+
+/// Severity of a static-analysis finding.
+///  - kError:   the query (or plan) cannot produce answers / is invalid;
+///  - kWarning: legal but wasteful — e.g. a predicate whose drop is a
+///              no-op relaxation that costs a DPO round;
+///  - kNote:    informational (schedule shape, estimates).
+enum class DiagSeverity : uint8_t {
+  kError = 0,
+  kWarning = 1,
+  kNote = 2,
+};
+
+const char* DiagSeverityName(DiagSeverity severity);
+
+/// Stable diagnostic codes ("flexcheck" pass, DESIGN.md §11). The code
+/// string is part of the tool contract: scripts grep for it, tests pin
+/// it. Numbering: FX0xx structural unsatisfiability / malformedness
+/// (corpus-independent), FX1xx corpus-level unsatisfiability (statistics
+/// prove zero answers), FX2xx redundancy warnings, FX3xx notes.
+inline constexpr std::string_view kDiagMalformed = "FX001";
+inline constexpr std::string_view kDiagTagConflict = "FX002";
+inline constexpr std::string_view kDiagStructuralCycle = "FX003";
+inline constexpr std::string_view kDiagDanglingContains = "FX004";
+inline constexpr std::string_view kDiagUnreachableAnswer = "FX005";
+inline constexpr std::string_view kDiagEmptyTag = "FX101";
+inline constexpr std::string_view kDiagEmptyContains = "FX102";
+inline constexpr std::string_view kDiagDeadEdge = "FX103";
+inline constexpr std::string_view kDiagRedundantPredicate = "FX201";
+
+/// One static-analysis finding.
+struct Diagnostic {
+  DiagSeverity severity = DiagSeverity::kError;
+  std::string code;     ///< Stable code, e.g. "FX101".
+  std::string message;  ///< Human-readable explanation.
+  /// Offending node path: the variable plus its spine from the query
+  /// root, e.g. "$3 (/article//section)"; "$3" alone when the input is a
+  /// logical form with no tree to walk. Empty for whole-query findings.
+  std::string path;
+  VarId var = kInvalidVar;  ///< Offending variable; kInvalidVar if none.
+
+  std::string ToString() const;
+};
+
+/// The result of one analysis pass over a query.
+struct AnalysisReport {
+  std::vector<Diagnostic> diagnostics;
+
+  size_t ErrorCount() const;
+  size_t WarningCount() const;
+
+  /// True when any error-severity diagnostic proves the query can return
+  /// no answers (every FX0xx/FX1xx error implies that).
+  bool unsatisfiable() const { return ErrorCount() > 0; }
+
+  /// True when the report contains a diagnostic with this code.
+  bool Has(std::string_view code) const;
+
+  /// First diagnostic with this code, or nullptr.
+  const Diagnostic* Find(std::string_view code) const;
+};
+
+/// Renders a report as one JSON object:
+///   {"errors":N,"warnings":N,"unsatisfiable":bool,
+///    "diagnostics":[{"severity":"error","code":"FX101",
+///                    "message":...,"path":...,"var":N},...]}
+std::string DiagnosticsJson(const AnalysisReport& report);
+
+/// Renders each diagnostic through the structured logger (module
+/// "analysis"): errors at WARN, warnings at INFO, notes at DEBUG.
+/// `query` labels the records with the analyzed pattern.
+void LogReport(const AnalysisReport& report, std::string_view query);
+
+}  // namespace flexpath
+
+#endif  // FLEXPATH_ANALYSIS_DIAGNOSTIC_H_

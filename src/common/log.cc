@@ -30,7 +30,9 @@ std::string FormatTimestamp() {
                   1000;
   std::tm tm{};
   gmtime_r(&secs, &tm);
-  char buf[40];
+  // Sized for the worst case GCC's -Wformat-truncation assumes (every
+  // %d at full int width), not the 24 bytes a real timestamp needs.
+  char buf[96];
   std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
                 tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
                 tm.tm_min, tm.tm_sec, static_cast<int>(ms));

@@ -26,21 +26,26 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& t : threads_) t.join();
-  assert(queue_.empty() && "workers drain the queue before exiting");
+#ifndef NDEBUG
+  {
+    MutexLock lock(mu_);
+    assert(queue_.empty() && "workers drain the queue before exiting");
+  }
+#endif
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   assert(task != nullptr);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 bool ThreadPool::OnWorkerThread() { return t_worker_id >= 0; }
@@ -57,8 +62,10 @@ void ThreadPool::WorkerLoop(int worker_id) {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      // An explicit wait loop (not the predicate overload) keeps the
+      // guarded reads in this scope, where the analysis sees mu_ held.
+      while (!stop_ && queue_.empty()) cv_.Wait(lock);
       // Drain-before-exit: stop_ alone is not enough to leave while
       // queued tasks remain (a finishing task may have submitted more).
       if (queue_.empty()) return;
@@ -75,9 +82,12 @@ TaskGroup::TaskGroup(ThreadPool* pool)
                    ThreadPool::OnWorkerThread()) {}
 
 TaskGroup::~TaskGroup() {
+#ifndef NDEBUG
   // A group abandoned mid-flight would leave tasks writing into a dead
   // object; Wait() is part of the contract, so enforce it.
+  MutexLock lock(mu_);
   assert(scheduled_ == finished_ && "TaskGroup destroyed before Wait()");
+#endif
 }
 
 void TaskGroup::Run(std::function<void()> fn) {
@@ -92,6 +102,7 @@ void TaskGroup::Run(std::function<void()> fn) {
     } catch (...) {
       *slot = std::current_exception();
     }
+    MutexLock lock(mu_);
     ++finished_;
     return;
   }
@@ -101,16 +112,16 @@ void TaskGroup::Run(std::function<void()> fn) {
     } catch (...) {
       *slot = std::current_exception();
     }
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++finished_;
-    done_cv_.notify_all();
+    done_cv_.NotifyAll();
   });
 }
 
 void TaskGroup::Wait() {
   if (!inline_only_) {
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [this] { return finished_ == scheduled_; });
+    MutexLock lock(mu_);
+    while (finished_ != scheduled_) done_cv_.Wait(lock);
   }
   for (std::exception_ptr& e : errors_) {
     if (e != nullptr) {

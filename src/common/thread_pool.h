@@ -1,15 +1,16 @@
 #ifndef FLEXPATH_COMMON_THREAD_POOL_H_
 #define FLEXPATH_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace flexpath {
 
@@ -63,10 +64,10 @@ class ThreadPool {
  private:
   void WorkerLoop(int worker_id);
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  bool stop_ GUARDED_BY(mu_) = false;
   std::vector<std::thread> threads_;
 };
 
@@ -103,13 +104,16 @@ class TaskGroup {
  private:
   ThreadPool* pool_;
   bool inline_only_;
-  std::mutex mu_;
-  std::condition_variable done_cv_;
-  size_t scheduled_ = 0;
-  size_t finished_ = 0;
+  Mutex mu_;
+  CondVar done_cv_;
+  size_t scheduled_ = 0;  ///< Only the driving thread writes/reads.
+  size_t finished_ GUARDED_BY(mu_) = 0;
   /// Captured exceptions in submission order; first non-null wins. A
   /// deque so slots stay at stable addresses while Run() keeps appending
-  /// — in-flight tasks hold pointers to their own slot.
+  /// — in-flight tasks hold pointers to their own slot. Deliberately not
+  /// GUARDED_BY(mu_): each task writes only its own slot, and Wait()'s
+  /// finished_ == scheduled_ read under mu_ publishes every slot before
+  /// the driving thread scans them.
   std::deque<std::exception_ptr> errors_;
 };
 

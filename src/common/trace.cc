@@ -106,18 +106,18 @@ std::string_view TraceSpan::TextOr(std::string_view key) const {
 }
 
 std::vector<const TraceSpan*> TraceSpan::ChildrenNamed(
-    std::string_view name) const {
+    std::string_view span_name) const {
   std::vector<const TraceSpan*> out;
   for (const std::unique_ptr<TraceSpan>& child : children) {
-    if (child->name == name) out.push_back(child.get());
+    if (child->name == span_name) out.push_back(child.get());
   }
   return out;
 }
 
-const TraceSpan* TraceSpan::Find(std::string_view name) const {
+const TraceSpan* TraceSpan::Find(std::string_view span_name) const {
   for (const std::unique_ptr<TraceSpan>& child : children) {
-    if (child->name == name) return child.get();
-    if (const TraceSpan* hit = child->Find(name)) return hit;
+    if (child->name == span_name) return child.get();
+    if (const TraceSpan* hit = child->Find(span_name)) return hit;
   }
   return nullptr;
 }

@@ -41,10 +41,10 @@ struct TraceSpan {
   std::string_view TextOr(std::string_view key) const;
 
   /// Direct children with the given span name.
-  std::vector<const TraceSpan*> ChildrenNamed(std::string_view name) const;
+  std::vector<const TraceSpan*> ChildrenNamed(std::string_view span_name) const;
   /// First descendant (depth-first, self excluded) with the given name;
   /// nullptr when none.
-  const TraceSpan* Find(std::string_view name) const;
+  const TraceSpan* Find(std::string_view span_name) const;
 
   /// Adds `offset_ms` to this span's start time and, recursively, to
   /// every descendant's. Used when grafting a worker-local trace (whose

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/log.h"
+#include "relax/schedule.h"
 
 namespace flexpath {
 
@@ -150,6 +151,36 @@ void FlexPath::ExpandContains(Tpq* q) const {
 
 std::string FlexPath::Describe(const Tpq& q) const {
   return q.ToString(corpus_.tags());
+}
+
+AnalyzerContext FlexPath::analyzer_context() const {
+  AnalyzerContext ctx;
+  ctx.index = element_index_.get();
+  ctx.stats = stats_.get();
+  ctx.ir = ir_.get();
+  ctx.dict = &corpus_.tags();
+  return ctx;
+}
+
+AnalysisReport FlexPath::Analyze(const Tpq& q) const {
+  AnalysisReport report = AnalyzeTpq(q, analyzer_context());
+  LogReport(report, q.ToString(corpus_.tags()));
+  return report;
+}
+
+Result<AnalysisReport> FlexPath::AnalyzeXPath(std::string_view xpath) const {
+  Result<Tpq> q = Parse(xpath);
+  if (!q.ok()) return q.status();
+  return Analyze(*q);
+}
+
+Result<std::vector<PlanVerdict>> FlexPath::VerifySchedule(
+    const Tpq& q) const {
+  if (!built_) return Status::InvalidArgument("call Build() first");
+  FLEXPATH_RETURN_IF_ERROR(q.Validate());
+  PenaltyModel pm(q, stats_.get(), ir_.get(), Weights{});
+  const std::vector<ScheduleEntry> schedule = BuildSchedule(q, pm);
+  return flexpath::VerifySchedule(q, schedule, analyzer_context());
 }
 
 std::string FlexPath::MetricsJson() const {

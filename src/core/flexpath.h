@@ -6,6 +6,8 @@
 #include <string_view>
 #include <vector>
 
+#include "analysis/analyzer.h"
+#include "analysis/plan_verifier.h"
 #include "common/metrics.h"
 #include "common/status.h"
 #include "common/trace.h"
@@ -97,6 +99,32 @@ class FlexPath {
 
   /// Renders a query back to text (diagnostics).
   std::string Describe(const Tpq& q) const;
+
+  // --- Static analysis (flexcheck) --------------------------------------
+
+  /// Runs the semantic analyzer on a parsed query: closure-based
+  /// structural checks always, plus corpus-level unsatisfiability
+  /// (empty tags, dead edges, unmatched contains) after Build(). The
+  /// diagnostics are also emitted through the structured logger under
+  /// the "analysis" module. See src/analysis/ and DESIGN.md §11 for the
+  /// diagnostic-code table.
+  AnalysisReport Analyze(const Tpq& q) const;
+
+  /// Parse + Analyze in one call (the CLI's --check path). Fails only
+  /// when the query does not parse; semantic problems come back as
+  /// diagnostics in the report.
+  Result<AnalysisReport> AnalyzeXPath(std::string_view xpath) const;
+
+  /// Statically verifies the full relaxation schedule BuildSchedule
+  /// emits for `q` against Theorem 2 (see analysis/plan_verifier.h for
+  /// the V001-V006 verdict codes). Requires Build(); the verdicts carry
+  /// the static-selectivity result used by TopKOptions::static_prune.
+  Result<std::vector<PlanVerdict>> VerifySchedule(const Tpq& q) const;
+
+  /// The analyzer context over this instance's index/stats/IR — what
+  /// Analyze() and the static_prune path consult. Fields are null
+  /// before Build() (except the tag dictionary).
+  AnalyzerContext analyzer_context() const;
 
   // Component access for advanced use (benchmarks, tests).
   const Corpus& corpus() const { return corpus_; }

@@ -130,6 +130,7 @@ void ExecCounters::Add(const ExecCounters& other) {
   score_sorts += other.score_sorts;
   score_sorted_items += other.score_sorted_items;
   buckets_peak = std::max(buckets_peak, other.buckets_peak);
+  rounds_pruned_static += other.rounds_pruned_static;
 }
 
 std::vector<RankedAnswer> PlanEvaluator::Evaluate(

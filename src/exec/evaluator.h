@@ -24,6 +24,7 @@ struct ExecCounters {
   uint64_t score_sorts = 0;        ///< Score-order sorts (SSO's weakness).
   uint64_t score_sorted_items = 0; ///< Total items passed through them.
   uint64_t buckets_peak = 0;       ///< Max live buckets (Hybrid).
+  uint64_t rounds_pruned_static = 0;  ///< Rounds skipped by static analysis.
 
   /// Accumulates `other` into this: sums every count, maxes buckets_peak.
   void Add(const ExecCounters& other);
@@ -40,6 +41,7 @@ struct ExecCounters {
     fn("score_sorts", score_sorts);
     fn("score_sorted_items", score_sorted_items);
     fn("buckets_peak", buckets_peak);
+    fn("rounds_pruned_static", rounds_pruned_static);
   }
 };
 

@@ -6,6 +6,7 @@
 #include <optional>
 #include <unordered_set>
 
+#include "analysis/analyzer.h"
 #include "common/log.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
@@ -60,6 +61,8 @@ struct RoundOutput {
   ExecCounters counters;
   TraceSpan span;         ///< The round's finished span subtree.
   bool has_span = false;  ///< Set on the worker-collector path only.
+  bool pruned = false;    ///< Skipped: static analysis proved it empty.
+  std::string prune_reason;
 };
 
 }  // namespace
@@ -122,6 +125,7 @@ Result<TopKResult> TopKProcessor::Run(const Tpq& q, Algorithm algo,
   static MetricsRegistry& reg = MetricsRegistry::Global();
   static Counter* m_queries = reg.counter("query.count");
   static Counter* m_errors = reg.counter("query.errors");
+  static Counter* m_pruned = reg.counter("query.rounds_pruned_static");
   static Histogram* m_latency[3] = {
       reg.histogram("query.latency_ms.dpo"),
       reg.histogram("query.latency_ms.sso"),
@@ -136,6 +140,7 @@ Result<TopKResult> TopKProcessor::Run(const Tpq& q, Algorithm algo,
     m_errors->Inc();
   } else {
     m_latency[static_cast<size_t>(algo)]->Observe(elapsed_ms);
+    if (result->rounds_pruned > 0) m_pruned->Inc(result->rounds_pruned);
   }
 
   std::shared_ptr<const QueryTrace> finished;
@@ -247,12 +252,32 @@ Result<TopKResult> TopKProcessor::RunDpo(const Tpq& q,
     }
   };
 
+  AnalyzerContext actx;
+  actx.index = index_;
+  actx.stats = stats_;
+  actx.ir = ir_;
+  actx.dict = &index_->corpus().tags();
+
   // Builds and evaluates one round's plan. `evpool` parallelizes within
   // the plan — non-null only when the round itself runs on the calling
   // thread (a worker-side nested fan-out would run inline anyway).
+  // With static_prune, a round the corpus statistics prove empty is
+  // answered without a plan: the proof is sound, so the round's output
+  // (no answers) is exactly what evaluation would have produced, and
+  // the merge bookkeeping below still runs for it — the result differs
+  // from the unpruned run only in work counters.
   auto eval_round = [&](size_t round, TraceCollector* rc, ThreadPool* evpool,
                         RoundOutput* out) {
     const Tpq& relaxed = round == 0 ? q : schedule[round - 1].relaxed;
+    if (opts.static_prune) {
+      if (std::optional<std::string> reason =
+              ProvablyEmptyReason(relaxed, actx)) {
+        out->pruned = true;
+        out->prune_reason = *std::move(reason);
+        out->counters.rounds_pruned_static = 1;
+        return;
+      }
+    }
     Span build_span(rc, "plan_build");
     Result<JoinPlan> plan = JoinPlan::Build(q, relaxed, {}, pm, opts.weights);
     build_span.Close();
@@ -270,6 +295,7 @@ Result<TopKResult> TopKProcessor::RunDpo(const Tpq& q,
   // stopping rule fired); later speculative rounds are then discarded.
   auto merge_round = [&](size_t round, RoundOutput&& out,
                          Span* inline_span) -> bool {
+    if (out.pruned) ++result.rounds_pruned;
     result.counters.Add(out.counters);
     // DPO appends: later rounds never outrank earlier ones
     // (structure-first), so no resorting — answers seen before keep
@@ -335,6 +361,7 @@ Result<TopKResult> TopKProcessor::RunDpo(const Tpq& q,
       RoundOutput out;
       eval_round(round, trace, pool, &out);
       if (!out.status.ok()) return out.status;
+      if (out.pruned) round_span.Annotate("static_pruned", out.prune_reason);
       AnnotateCounters(&round_span, out.counters);
       done = merge_round(round, std::move(out), &round_span);
       ++next_round;
@@ -360,6 +387,9 @@ Result<TopKResult> TopKProcessor::RunDpo(const Tpq& q,
           }
           eval_round(round, wc.has_value() ? &*wc : nullptr, nullptr, out);
           if (wc.has_value()) {
+            if (out->pruned) {
+              wc->current()->Annotate("static_pruned", out->prune_reason);
+            }
             AnnotateCounters(wc->current(), out->counters);
             QueryTrace t = wc->Finish();
             t.root.ShiftBy(offset);
@@ -426,6 +456,33 @@ Result<TopKResult> TopKProcessor::RunEncoded(const Tpq& q,
   estimate_span.Annotate("encoded", static_cast<uint64_t>(encoded));
   estimate_span.Close();
 
+  AnalyzerContext actx;
+  actx.index = index_;
+  actx.stats = stats_;
+  actx.ir = ir_;
+  actx.dict = &index_->corpus().tags();
+
+  // Answers come only from the final pass, and a provably-empty encoding
+  // yields no answers, so the dynamic retry loop below would advance
+  // straight past it — skip ahead without building those plans. The last
+  // schedule entry is never skipped: with nothing left to advance to,
+  // the loop must still run its pass to produce the result metadata.
+  auto skip_provably_empty = [&] {
+    if (!opts.static_prune) return;
+    while (encoded < schedule.size()) {
+      const Tpq& cur = encoded == 0 ? q : schedule[encoded - 1].relaxed;
+      std::optional<std::string> reason = ProvablyEmptyReason(cur, actx);
+      if (!reason.has_value()) break;
+      Span skip_span(trace, "static_prune_skip");
+      skip_span.Annotate("encoded", static_cast<uint64_t>(encoded));
+      skip_span.Annotate("static_pruned", *reason);
+      ++encoded;
+      ++result.rounds_pruned;
+      ++result.counters.rounds_pruned_static;
+    }
+  };
+  skip_provably_empty();
+
   bool prune = true;
   for (;;) {
     const Tpq& relaxed = encoded == 0 ? q : schedule[encoded - 1].relaxed;
@@ -477,6 +534,7 @@ Result<TopKResult> TopKProcessor::RunEncoded(const Tpq& q,
     if (encoded >= schedule.size()) break;
     ++encoded;
     prune = true;
+    skip_provably_empty();
   }
 
   if (result.answers.size() > opts.k) result.answers.resize(opts.k);
@@ -487,7 +545,7 @@ ThreadPool* TopKProcessor::PoolFor(const TopKOptions& opts) {
   const size_t n = opts.num_threads == 0 ? ThreadPool::HardwareConcurrency()
                                          : opts.num_threads;
   if (n <= 1) return nullptr;
-  std::lock_guard<std::mutex> lock(pools_mu_);
+  MutexLock lock(pools_mu_);
   std::unique_ptr<ThreadPool>& slot = pools_[n];
   if (slot == nullptr) slot = std::make_unique<ThreadPool>(n);
   return slot.get();

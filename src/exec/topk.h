@@ -3,10 +3,11 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
 #include "exec/evaluator.h"
@@ -49,6 +50,17 @@ struct TopKOptions {
   /// forced on for such runs so the log can carry the span tree.
   /// Negative (the default) disables the slow-query log.
   double slow_query_ms = -1.0;
+  /// When true (the default), each relaxation round is first checked
+  /// against the corpus statistics (analysis::ProvablyEmptyReason): a
+  /// round whose query provably has no answers — a tag occurring in
+  /// zero elements, a contains expression nothing satisfies, or a
+  /// pc/ad edge with zero such pairs — is skipped without building or
+  /// running its plan. The proof is sound, so answers, penalties and
+  /// relaxation metadata are identical with the option on or off; only
+  /// the work counters differ. Skips are observable via
+  /// TopKResult::rounds_pruned, the rounds_pruned_static counter, trace
+  /// span annotations, and the query.rounds_pruned_static metric.
+  bool static_prune = true;
   /// Worker threads for this run. 0 (the default) means hardware
   /// concurrency; 1 runs the fully serial path (no pool is ever
   /// touched). Parallelism never changes results: DPO evaluates
@@ -70,6 +82,10 @@ struct TopKResult {
   double penalty_applied = 0.0;
   /// Predicates relaxed away at that deepest relaxation.
   uint64_t predicates_dropped = 0;
+  /// Relaxation rounds skipped because static analysis proved them
+  /// empty (TopKOptions::static_prune). Also exported as the
+  /// rounds_pruned_static execution counter.
+  size_t rounds_pruned = 0;
   /// Execution trace; null unless TopKOptions::collect_trace was set.
   std::shared_ptr<const QueryTrace> trace;
 };
@@ -117,8 +133,8 @@ class TopKProcessor {
   IrEngine* ir_;
   QueryStatsStore* query_stats_;
   PlanEvaluator evaluator_;
-  std::mutex pools_mu_;
-  std::map<size_t, std::unique_ptr<ThreadPool>> pools_;
+  Mutex pools_mu_;
+  std::map<size_t, std::unique_ptr<ThreadPool>> pools_ GUARDED_BY(pools_mu_);
 };
 
 }  // namespace flexpath

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <mutex>
 
 #include "common/metrics.h"
 
@@ -70,7 +69,7 @@ double ContainsResult::BestScoreWithin(NodeRef context) const {
 }
 
 size_t ContainsResult::CountWithTag(TagId tag) const {
-  std::lock_guard<std::mutex> lock(tag_counts_mu_);
+  MutexLock lock(tag_counts_mu_);
   auto it = tag_counts_.find(tag);
   if (it != tag_counts_.end()) return it->second;
   size_t count = 0;
@@ -96,7 +95,7 @@ const ContainsResult* IrEngine::Evaluate(const FtExpr& expr) {
   // the same uncached expression would otherwise compute it twice and
   // race the insert. First-time evaluation serializing is acceptable —
   // every later call is a cheap hit under the lock.
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  MutexLock lock(cache_mu_);
   auto it = cache_.find(key);
   if (it != cache_.end()) {
     m_hits->Inc();

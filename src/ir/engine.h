@@ -2,11 +2,12 @@
 #define FLEXPATH_IR_ENGINE_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "ir/ft_expr.h"
 #include "ir/inverted_index.h"
 #include "xml/corpus.h"
@@ -62,8 +63,9 @@ class ContainsResult {
   /// Guards tag_counts_ — the only mutable state; everything else is
   /// read-only after construction, so Satisfies/BestScoreWithin need no
   /// locking.
-  mutable std::mutex tag_counts_mu_;
-  mutable std::unordered_map<TagId, size_t> tag_counts_;
+  mutable Mutex tag_counts_mu_;
+  mutable std::unordered_map<TagId, size_t> tag_counts_
+      GUARDED_BY(tag_counts_mu_);
 };
 
 /// The full-text search engine of the FleXPath architecture (Figure 7):
@@ -109,8 +111,9 @@ class IrEngine {
 
   const Corpus* corpus_;
   InvertedIndex index_;
-  std::mutex cache_mu_;
-  std::unordered_map<std::string, std::unique_ptr<ContainsResult>> cache_;
+  Mutex cache_mu_;
+  std::unordered_map<std::string, std::unique_ptr<ContainsResult>> cache_
+      GUARDED_BY(cache_mu_);
 };
 
 }  // namespace flexpath

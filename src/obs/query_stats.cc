@@ -94,7 +94,7 @@ std::string FingerprintHex(uint64_t fingerprint) {
 QueryStatsStore::QueryStatsStore(QueryStatsOptions opts) : opts_(opts) {}
 
 void QueryStatsStore::Record(const QueryExecution& e) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++seq_;
   ShapeStats& s = shapes_[e.fingerprint];
   if (s.executions == 0) s.example_query = e.query;
@@ -114,7 +114,7 @@ void QueryStatsStore::Record(const QueryExecution& e) {
 
 void QueryStatsStore::RecordSlow(const QueryExecution& e, double threshold_ms,
                                  std::shared_ptr<const QueryTrace> trace) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   slowlog_.push_back(SlowQueryEntry{e, threshold_ms, std::move(trace)});
   while (slowlog_.size() > opts_.slowlog_capacity) slowlog_.pop_front();
 }
@@ -130,7 +130,7 @@ void QueryStatsStore::EvictShapesLocked() {
 }
 
 std::vector<ShapeStatsSnapshot> QueryStatsStore::Shapes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<ShapeStatsSnapshot> out;
   out.reserve(shapes_.size());
   for (const auto& [fingerprint, s] : shapes_) {
@@ -157,22 +157,22 @@ std::vector<ShapeStatsSnapshot> QueryStatsStore::Shapes() const {
 }
 
 std::vector<QueryExecution> QueryStatsStore::Recent() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return {ring_.begin(), ring_.end()};
 }
 
 std::vector<SlowQueryEntry> QueryStatsStore::SlowLog() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return {slowlog_.begin(), slowlog_.end()};
 }
 
 size_t QueryStatsStore::shape_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return shapes_.size();
 }
 
 void QueryStatsStore::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   shapes_.clear();
   ring_.clear();
   slowlog_.clear();

@@ -4,12 +4,13 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/trace.h"
 #include "query/tpq.h"
 #include "xml/tag_dict.h"
@@ -150,14 +151,14 @@ class QueryStatsStore {
     uint64_t last_touched = 0;  ///< Record() sequence, for LRU eviction.
   };
 
-  void EvictShapesLocked();
+  void EvictShapesLocked() REQUIRES(mu_);
 
   const QueryStatsOptions opts_;
-  mutable std::mutex mu_;
-  std::unordered_map<uint64_t, ShapeStats> shapes_;
-  std::deque<QueryExecution> ring_;
-  std::deque<SlowQueryEntry> slowlog_;
-  uint64_t seq_ = 0;
+  mutable Mutex mu_;
+  std::unordered_map<uint64_t, ShapeStats> shapes_ GUARDED_BY(mu_);
+  std::deque<QueryExecution> ring_ GUARDED_BY(mu_);
+  std::deque<SlowQueryEntry> slowlog_ GUARDED_BY(mu_);
+  uint64_t seq_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace flexpath

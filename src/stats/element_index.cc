@@ -22,7 +22,7 @@ const std::vector<NodeRef>& ElementIndex::Scan(TagId tag) const {
   if (hierarchy_ != nullptr && !hierarchy_->empty()) {
     const std::vector<TagId> closure = hierarchy_->SubtypeClosure(tag);
     if (closure.size() > 1) {
-      std::lock_guard<std::mutex> lock(merged_mu_);
+      MutexLock lock(merged_mu_);
       auto it = merged_.find(tag);
       if (it != merged_.end()) return it->second;
       std::vector<NodeRef> merged;

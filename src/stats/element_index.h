@@ -2,9 +2,10 @@
 #define FLEXPATH_STATS_ELEMENT_INDEX_H_
 
 #include <map>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "xml/corpus.h"
 #include "xml/tag_dict.h"
 #include "xml/type_hierarchy.h"
@@ -48,8 +49,9 @@ class ElementIndex {
   /// Lazily merged supertype scans (only when hierarchy_ is set). A
   /// node-based map so references handed out stay valid while the guarded
   /// cache keeps growing under concurrent Scan calls.
-  mutable std::mutex merged_mu_;
-  mutable std::map<TagId, std::vector<NodeRef>> merged_;
+  mutable Mutex merged_mu_;
+  mutable std::map<TagId, std::vector<NodeRef>> merged_
+      GUARDED_BY(merged_mu_);
   std::vector<NodeRef> empty_;
 };
 

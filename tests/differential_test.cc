@@ -78,8 +78,13 @@ std::string Fingerprint(const TopKResult& r) {
   s += ",penalty=" + std::to_string(r.penalty_applied);
   s += ",dropped=" + std::to_string(r.predicates_dropped);
   ExecCounters c = r.counters;
+  // Sequential appends rather than one chained concatenation: GCC 12's
+  // -Wrestrict misfires on the chained operator+ form here.
   c.ForEach([&](const char* name, uint64_t value) {
-    s += std::string(",") + name + "=" + std::to_string(value);
+    s += ',';
+    s += name;
+    s += '=';
+    s += std::to_string(value);
   });
   return s;
 }

@@ -145,8 +145,8 @@ INSTANTIATE_TEST_SUITE_P(
                   "./paragraph[.contains(\"XML\" and \"streaming\")]]]"},
         QueryCase{"two_contains",
                   "//a[./b[.contains(\"x\")] and ./c[.contains(\"y\")]]"}),
-    [](const ::testing::TestParamInfo<QueryCase>& info) {
-      return info.param.name;
+    [](const ::testing::TestParamInfo<QueryCase>& param_info) {
+      return param_info.param.name;
     });
 
 }  // namespace
