@@ -1,0 +1,166 @@
+// CI perf smoke for the sub-plan result cache (DESIGN.md §12): runs the
+// Figure 9 Q3 DPO workload on a small XMark corpus twice in one process
+// with the shared cache tier, then
+//   - asserts the warm run had a non-zero cache hit-rate (exit 1 if the
+//     cache silently stopped working),
+//   - asserts warm-run executor work (candidates probed) dropped below
+//     the cold run's — the "measurably faster via counters" check, which
+//     holds on a 1-core box where wall-clock comparisons would be noise,
+//   - asserts the answers of cold, warm and cache-off runs are identical,
+//   - writes a BENCH_topk.json artifact with both runs' timings,
+//     counters, and the cold/warm speedup.
+// Exit status 0 = healthy; any violated invariant prints a diagnostic
+// and exits 1 so the CI job fails.
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+using flexpath::Algorithm;
+using flexpath::CacheTier;
+using flexpath::TopKResult;
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+std::string AnswerKey(const TopKResult& r) {
+  std::string s;
+  for (const flexpath::RankedAnswer& a : r.answers) {
+    // Sequential appends: GCC 12's -Wrestrict misfires on chained +.
+    s += std::to_string(a.node.doc);
+    s += ":";
+    s += std::to_string(a.node.node);
+    s += "/";
+    s += std::to_string(a.score.ss);
+    s += "+";
+    s += std::to_string(a.score.ks);
+    s += ";";
+  }
+  s += "penalty=";
+  s += std::to_string(r.penalty_applied);
+  s += ",dropped=";
+  s += std::to_string(r.predicates_dropped);
+  return s;
+}
+
+void AppendRunJson(std::string* out, const char* name, const TopKResult& r,
+                   double elapsed_ms) {
+  *out += "\"";
+  *out += name;
+  *out += "\":{\"elapsed_ms\":" + std::to_string(elapsed_ms);
+  *out += ",\"answers\":" + std::to_string(r.answers.size());
+  *out += ",\"relaxations_used\":" + std::to_string(r.relaxations_used);
+  *out += ",\"counters\":{";
+  bool first = true;
+  r.counters.ForEach([&](const char* field, uint64_t value) {
+    if (!first) *out += ',';
+    first = false;
+    *out += '"';
+    *out += field;
+    *out += "\":" + std::to_string(value);
+  });
+  *out += "}}";
+}
+
+}  // namespace
+
+int main() {
+  auto& fixture = flexpath::bench_util::GetFixtureMb(1.0);
+  const flexpath::Tpq q = fixture.Parse(flexpath::bench_util::kQ3);
+  constexpr size_t kK = 50;
+
+  // Reference run without any caching.
+  const TopKResult reference = flexpath::bench_util::RunTopK(
+      fixture, q, Algorithm::kDpo, kK, flexpath::RankScheme::kStructureFirst,
+      /*threads=*/1, CacheTier::kOff);
+
+  auto start = std::chrono::steady_clock::now();
+  const TopKResult cold = flexpath::bench_util::RunTopK(
+      fixture, q, Algorithm::kDpo, kK, flexpath::RankScheme::kStructureFirst,
+      /*threads=*/1, CacheTier::kShared);
+  const double cold_ms = MsSince(start);
+
+  start = std::chrono::steady_clock::now();
+  const TopKResult warm = flexpath::bench_util::RunTopK(
+      fixture, q, Algorithm::kDpo, kK, flexpath::RankScheme::kStructureFirst,
+      /*threads=*/1, CacheTier::kShared);
+  const double warm_ms = MsSince(start);
+
+  int failures = 0;
+  if (warm.counters.cache_step_hits == 0) {
+    std::fprintf(stderr,
+                 "FAIL: warm run had zero cache hits (cold misses=%llu)\n",
+                 static_cast<unsigned long long>(
+                     cold.counters.cache_step_misses));
+    ++failures;
+  }
+  if (warm.counters.candidates_probed >= reference.counters.candidates_probed) {
+    std::fprintf(
+        stderr,
+        "FAIL: warm run probed %llu candidates, not fewer than the uncached "
+        "run's %llu — the cache is not saving work\n",
+        static_cast<unsigned long long>(warm.counters.candidates_probed),
+        static_cast<unsigned long long>(
+            reference.counters.candidates_probed));
+    ++failures;
+  }
+  if (AnswerKey(cold) != AnswerKey(reference) ||
+      AnswerKey(warm) != AnswerKey(reference)) {
+    std::fprintf(stderr,
+                 "FAIL: cached answers differ from the uncached run\n"
+                 "  off : %s\n  cold: %s\n  warm: %s\n",
+                 AnswerKey(reference).c_str(), AnswerKey(cold).c_str(),
+                 AnswerKey(warm).c_str());
+    ++failures;
+  }
+  // Q3 is the deep-relaxation query; if it stops relaxing the cache smoke
+  // stops covering the cross-round reuse it exists to watch.
+  if (reference.relaxations_used < 3) {
+    std::fprintf(stderr,
+                 "FAIL: Q3 used only %zu relaxations; the smoke needs a "
+                 "deep DPO schedule\n",
+                 reference.relaxations_used);
+    ++failures;
+  }
+
+  const uint64_t warm_steps =
+      warm.counters.cache_step_hits + warm.counters.cache_step_misses;
+  const double hit_rate =
+      warm_steps == 0
+          ? 0.0
+          : static_cast<double>(warm.counters.cache_step_hits) /
+                static_cast<double>(warm_steps);
+
+  std::string json = "{\"bench\":\"perf_smoke/Q3_DPO_shared\"";
+  json += ",\"corpus_bytes\":" + std::to_string(fixture.target_bytes);
+  json += ",\"k\":" + std::to_string(kK);
+  json += ",\"warm_hit_rate\":" + std::to_string(hit_rate);
+  json += ",\"cold_over_warm_speedup\":" +
+          std::to_string(warm_ms > 0.0 ? cold_ms / warm_ms : 0.0);
+  json += ",";
+  AppendRunJson(&json, "cold", cold, cold_ms);
+  json += ",";
+  AppendRunJson(&json, "warm", warm, warm_ms);
+  json += "}";
+
+  const char* path = "BENCH_topk.json";
+  if (FILE* f = std::fopen(path, "w")) {
+    std::fprintf(f, "%s\n", json.c_str());
+    std::fclose(f);
+  } else {
+    std::fprintf(stderr, "FAIL: cannot write %s\n", path);
+    ++failures;
+  }
+  std::printf("%s\n", json.c_str());
+  std::printf(
+      "perf smoke: %s (warm hit rate %.2f, %llu steps served from cache)\n",
+      failures == 0 ? "OK" : "FAILED", hit_rate,
+      static_cast<unsigned long long>(warm.counters.cache_step_hits));
+  return failures == 0 ? 0 : 1;
+}

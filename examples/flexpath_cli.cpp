@@ -34,6 +34,8 @@
 //   :synonym A B               register B as a synonym of A
 //   :stats                     corpus + per-query-shape statistics
 //   :slowlog                   slow-query log (see --slow-query-ms)
+//   :cache [off|run|shared]    show cache statistics (JSON), or switch
+//                              the sub-plan result-cache tier
 //   :help / :quit
 //
 // Corpus flags:
@@ -51,6 +53,12 @@
 //                              (0 = hardware concurrency, 1 = serial)
 //   --metrics-prom             print a Prometheus text exposition of all
 //                              metrics on exit (stdout)
+//
+// Cache flags (DESIGN.md §12):
+//   --cache off|run|shared     sub-plan result-cache tier (default off;
+//                              answers are identical at every tier)
+//   --cache-mb N               byte budget, in MB, of the process-wide
+//                              shared tier (and of each run-local tier)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -76,6 +84,7 @@ struct CliState {
   flexpath::RankScheme scheme = flexpath::RankScheme::kStructureFirst;
   double slow_query_ms = -1.0;  ///< Negative: slow-query log disabled.
   size_t threads = 0;           ///< 0: hardware concurrency; 1: serial.
+  flexpath::ResultCacheOptions cache;  ///< Sub-plan result cache knobs.
 };
 
 void PrintHelp() {
@@ -91,6 +100,7 @@ void PrintHelp() {
       "  :synonym A B             thesaurus entry (B relaxes A)\n"
       "  :stats                   corpus + per-query-shape statistics\n"
       "  :slowlog                 slow-query log\n"
+      "  :cache [off|run|shared]  cache statistics / result-cache tier\n"
       "  :help, :quit\n");
 }
 
@@ -100,6 +110,7 @@ void RunQuery(CliState& state, const std::string& xpath) {
   opts.scheme = state.scheme;
   opts.slow_query_ms = state.slow_query_ms;
   opts.num_threads = state.threads;
+  opts.result_cache = state.cache;
   flexpath::Result<std::vector<flexpath::QueryAnswer>> answers =
       state.fp.Query(xpath, opts, state.algo);
   if (!answers.ok()) {
@@ -158,6 +169,7 @@ int ExplainAnalyze(CliState& state, const std::string& xpath,
   opts.scheme = state.scheme;
   opts.slow_query_ms = state.slow_query_ms;
   opts.num_threads = state.threads;
+  opts.result_cache = state.cache;
   opts.collect_trace = true;
   flexpath::Result<flexpath::TopKResult> result =
       state.fp.QueryTpq(*q, opts, state.algo);
@@ -232,11 +244,28 @@ void Lint(CliState& state, const std::string& xpath) {
   }
 }
 
+// Parses a result-cache tier name; returns false on anything else.
+bool ParseCacheTier(const std::string& name, flexpath::CacheTier* out) {
+  if (name == "off") {
+    *out = flexpath::CacheTier::kOff;
+  } else if (name == "run") {
+    *out = flexpath::CacheTier::kRun;
+  } else if (name == "shared") {
+    *out = flexpath::CacheTier::kShared;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 void PrintStats(CliState& state) {
   const flexpath::Corpus& corpus = state.fp.corpus();
   std::printf("documents: %zu, elements: %zu, distinct tags: %zu\n",
               corpus.size(), corpus.TotalNodes(),
               std::as_const(corpus).tags().size());
+  std::printf("result cache: tier=%s  %s\n",
+              flexpath::CacheTierName(state.cache.tier),
+              state.fp.CacheStatsJson().c_str());
   const std::vector<flexpath::ShapeStatsSnapshot> shapes =
       state.fp.query_stats()->Shapes();
   if (shapes.empty()) return;
@@ -362,6 +391,18 @@ int Repl(CliState& state) {
       PrintStats(state);
     } else if (cmd == ":slowlog") {
       PrintSlowLog(state);
+    } else if (cmd == ":cache") {
+      std::string name;
+      if (words >> name) {
+        if (ParseCacheTier(name, &state.cache.tier)) {
+          std::printf("result cache tier = %s\n",
+                      flexpath::CacheTierName(state.cache.tier));
+        } else {
+          std::printf("usage: :cache [off|run|shared]\n");
+        }
+      } else {
+        std::printf("%s\n", state.fp.CacheStatsJson().c_str());
+      }
     } else {
       std::printf("unknown command %s (:help)\n", cmd.c_str());
     }
@@ -403,6 +444,25 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[i], "--metrics-prom") == 0) {
       metrics_prom = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--cache") == 0 && i + 1 < argc) {
+      if (!ParseCacheTier(argv[++i], &state.cache.tier)) {
+        std::fprintf(stderr, "--cache: expected off|run|shared, got %s\n",
+                     argv[i]);
+        return 2;
+      }
+      continue;
+    }
+    if (std::strcmp(argv[i], "--cache-mb") == 0 && i + 1 < argc) {
+      const double mb = std::atof(argv[++i]);
+      if (mb <= 0) {
+        std::fprintf(stderr, "--cache-mb: expected a positive number\n");
+        return 2;
+      }
+      const size_t bytes = static_cast<size_t>(mb * 1024 * 1024);
+      state.cache.run_budget_bytes = bytes;
+      state.fp.SetSharedResultCacheBudget(bytes);
       continue;
     }
     if (std::strcmp(argv[i], "--explain") == 0 ||
@@ -466,7 +526,8 @@ int main(int argc, char** argv) {
                  "[--explain-json \"<xpath>\"] [--check \"<xpath>\"] "
                  "[--check-json \"<xpath>\"] [--subtype SUPER SUB] "
                  "[--log-json] [--log-level L] [--slow-query-ms N] "
-                 "[--threads N] [--metrics-prom] [file.xml ...]\n"
+                 "[--threads N] [--metrics-prom] "
+                 "[--cache off|run|shared] [--cache-mb N] [file.xml ...]\n"
                  "loads documents, then starts an interactive shell;\n"
                  "--explain runs one traced query and exits;\n"
                  "--check runs the static analyzer and exits (1 on error);\n"

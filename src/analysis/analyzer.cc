@@ -9,15 +9,23 @@ namespace flexpath {
 
 namespace {
 
+// Sequential appends rather than chained operator+ in both helpers:
+// GCC 12's -Wrestrict misfires on the chained form.
 std::string TagName(TagId tag, const TagDict* dict) {
   if (tag == kInvalidTag) return "*";
   if (dict == nullptr || tag >= dict->size()) {
-    return "#" + std::to_string(tag);
+    std::string out = "#";
+    out += std::to_string(tag);
+    return out;
   }
   return dict->Name(tag);
 }
 
-std::string VarLabel(VarId var) { return "$" + std::to_string(var); }
+std::string VarLabel(VarId var) {
+  std::string out = "$";
+  out += std::to_string(var);
+  return out;
+}
 
 /// Path renderer shared by every diagnostic: tree spine when the input
 /// was a Tpq, bare variable otherwise.

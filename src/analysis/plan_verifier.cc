@@ -91,16 +91,28 @@ bool FindOpPath(const Tpq& original, const Tpq& target, size_t budget,
 }  // namespace
 
 std::string PlanVerdict::ToString() const {
+  // Sequential appends rather than chained operator+: GCC 12's
+  // -Wrestrict misfires on the chained form.
   if (ok) {
     std::string out = "ok";
     if (!op_path.empty()) {
       out += " via";
-      for (const RelaxOp& op : op_path) out += " " + op.ToString();
+      for (const RelaxOp& op : op_path) {
+        out += " ";
+        out += op.ToString();
+      }
     }
-    if (provably_empty) out += " [provably empty: " + *provably_empty + "]";
+    if (provably_empty) {
+      out += " [provably empty: ";
+      out += *provably_empty;
+      out += "]";
+    }
     return out;
   }
-  return std::string(code) + ": " + detail;
+  std::string out(code);
+  out += ": ";
+  out += detail;
+  return out;
 }
 
 PlanVerdict VerifyRelaxation(const Tpq& original, const ScheduleEntry& entry,

@@ -183,6 +183,49 @@ Result<std::vector<PlanVerdict>> FlexPath::VerifySchedule(
   return flexpath::VerifySchedule(q, schedule, analyzer_context());
 }
 
+std::string FlexPath::CacheStatsJson() const {
+  const ResultCache::Stats rc = ResultCache::Global().GetStats();
+  std::string out = "{\"result_cache\":{";
+  out += "\"hits\":" + std::to_string(rc.hits);
+  out += ",\"misses\":" + std::to_string(rc.misses);
+  out += ",\"insertions\":" + std::to_string(rc.insertions);
+  out += ",\"evictions\":" + std::to_string(rc.evictions);
+  out += ",\"entries\":" + std::to_string(rc.entries);
+  out += ",\"bytes\":" + std::to_string(rc.bytes);
+  out += ",\"budget\":" + std::to_string(rc.budget);
+  out += "},\"ir_cache\":";
+  if (ir_ != nullptr) {
+    const IrEngine::CacheStats ir = ir_->GetCacheStats();
+    out += "{\"evictions\":" + std::to_string(ir.evictions);
+    out += ",\"entries\":" + std::to_string(ir.entries);
+    out += ",\"bytes\":" + std::to_string(ir.bytes);
+    out += ",\"budget\":" + std::to_string(ir.budget);
+    out += '}';
+  } else {
+    out += "null";
+  }
+  out += ",\"merged_scan_cache\":";
+  if (element_index_ != nullptr) {
+    const ElementIndex::MergedCacheStats ms =
+        element_index_->GetMergedCacheStats();
+    out += "{\"hits\":" + std::to_string(ms.hits);
+    out += ",\"misses\":" + std::to_string(ms.misses);
+    out += ",\"evictions\":" + std::to_string(ms.evictions);
+    out += ",\"entries\":" + std::to_string(ms.entries);
+    out += ",\"bytes\":" + std::to_string(ms.bytes);
+    out += ",\"budget\":" + std::to_string(ms.budget);
+    out += '}';
+  } else {
+    out += "null";
+  }
+  out += '}';
+  return out;
+}
+
+void FlexPath::SetSharedResultCacheBudget(size_t budget_bytes) {
+  ResultCache::Global().SetBudget(budget_bytes);
+}
+
 std::string FlexPath::MetricsJson() const {
   return MetricsToJson(MetricsRegistry::Global().Snapshot());
 }

@@ -158,6 +158,17 @@ class FlexPath {
   /// and slow-query log; see QueryStatsStore::ToJson() for the schema.
   std::string QueryStatsJson() const { return query_stats_.ToJson(); }
 
+  /// One JSON object with the state of every cache: the process-wide
+  /// sub-plan result cache (DESIGN.md §12), this instance's IR
+  /// contains-result cache, and its merged-scan cache. Fields for the
+  /// latter two are null before Build().
+  std::string CacheStatsJson() const;
+
+  /// Sets the byte budget of the process-wide sub-plan result cache
+  /// (ResultCache::Global(), the kShared tier), evicting immediately if
+  /// over. Affects every FlexPath instance in the process.
+  void SetSharedResultCacheBudget(size_t budget_bytes);
+
   /// Phase-by-phase trace of the last Build() call (element index,
   /// statistics, IR engine); null before Build().
   std::shared_ptr<const QueryTrace> build_trace() const {

@@ -19,19 +19,9 @@ constexpr NodeRef kNullRef{UINT32_MAX, UINT32_MAX};
 
 bool IsNull(NodeRef ref) { return ref == kNullRef; }
 
-struct Tuple {
-  std::vector<NodeRef> bindings;
-  uint64_t mask = 0;       ///< Violated optional predicates.
-  double penalty = 0.0;    ///< Σ π over the mask.
-};
-
-/// Hash for NodeRef keys in the answer-bound map.
-struct NodeRefHash {
-  size_t operator()(const NodeRef& r) const {
-    return std::hash<uint64_t>()((static_cast<uint64_t>(r.doc) << 32) |
-                                 r.node);
-  }
-};
+// The pipeline's tuple type lives in exec/result_cache.h so cached step
+// results can share it; NodeRefHash comes from xml/corpus.h.
+using Tuple = ExecTuple;
 
 /// Exact dominance pruning: tuples that agree on every live binding have
 /// identical futures (same remaining predicate outcomes, same keyword
@@ -131,12 +121,15 @@ void ExecCounters::Add(const ExecCounters& other) {
   score_sorted_items += other.score_sorted_items;
   buckets_peak = std::max(buckets_peak, other.buckets_peak);
   rounds_pruned_static += other.rounds_pruned_static;
+  cache_step_hits += other.cache_step_hits;
+  cache_step_misses += other.cache_step_misses;
+  tuples_excluded += other.tuples_excluded;
 }
 
 std::vector<RankedAnswer> PlanEvaluator::Evaluate(
     const JoinPlan& plan, EvalMode mode, size_t k, RankScheme scheme,
     double exact_penalty, ExecCounters* counters, TraceCollector* trace,
-    ThreadPool* pool) {
+    ThreadPool* pool, const EvalCacheContext* cache) {
   // Work is tallied locally, then folded into the caller's counters and
   // the global registry — so per-call deltas are exact even when the
   // caller accumulates across plan passes.
@@ -149,14 +142,15 @@ std::vector<RankedAnswer> PlanEvaluator::Evaluate(
 
   // Resolve every contains expression the plan can mention (original
   // query expressions; promoted predicates reuse the same keys).
-  std::unordered_map<std::string, const ContainsResult*> contains_results;
+  std::unordered_map<std::string, std::shared_ptr<const ContainsResult>>
+      contains_results;
   {
     Span resolve_span(trace, "resolve_contains");
     for (VarId v : plan.query().Vars()) {
       for (const FtExpr& e : plan.query().node(v).contains) {
         assert(ir_ != nullptr && "plan has contains but no IR engine");
         Span probe_span(trace, "ir_probe");
-        const ContainsResult* result = ir_->Evaluate(e);
+        std::shared_ptr<const ContainsResult> result = ir_->Evaluate(e);
         probe_span.Annotate("expr", e.ToString());
         probe_span.Annotate("satisfying",
                             static_cast<uint64_t>(result->satisfying().size()));
@@ -171,6 +165,36 @@ std::vector<RankedAnswer> PlanEvaluator::Evaluate(
   const double ks_bonus =
       scheme == RankScheme::kCombined ? plan.max_keyword_score() : 0.0;
   const int dist_step = plan.distinguished_step();
+
+  // --- Sub-plan result cache (DESIGN.md §12). ---------------------------
+  const bool cache_on =
+      cache != nullptr && (cache->run != nullptr || cache->shared != nullptr);
+  // Incremental DPO: drop tuples for already-answered nodes. Exact mode
+  // only — encoded modes produce their whole answer set in one pass.
+  const bool excluding = cache != nullptr && mode == EvalMode::kExact &&
+                         cache->exclude != nullptr &&
+                         !cache->exclude->empty();
+  // The threshold bound makes step outputs depend on k in encoded modes;
+  // kExact never prunes, so its entries are k-independent and every DPO
+  // round of every k shares them.
+  const uint64_t prune_k = prune ? static_cast<uint64_t>(k) : 0;
+  auto step_key = [&](size_t s) {
+    return StepCacheKey(plan.step_fingerprint(s), cache->corpus_generation,
+                        static_cast<uint8_t>(mode),
+                        static_cast<uint8_t>(scheme), prune_k);
+  };
+  // Removes tuples whose distinguished binding is in the exclusion set.
+  auto drop_excluded = [&](std::vector<Tuple>* ts, ExecCounters* c) {
+    const size_t before = ts->size();
+    ts->erase(
+        std::remove_if(ts->begin(), ts->end(),
+                       [&](const Tuple& t) {
+                         return cache->exclude->count(t.bindings[static_cast<
+                                    size_t>(dist_step)]) != 0;
+                       }),
+        ts->end());
+    c->tuples_excluded += before - ts->size();
+  };
 
   // Evaluates one predicate against a (partial) tuple extended by `cand`
   // at step `s`. Null operands fail the predicate.
@@ -222,14 +246,64 @@ std::vector<RankedAnswer> PlanEvaluator::Evaluate(
     return true;
   };
 
-  // --- Step 0: seed tuples from the first scan list. -------------------
+  // --- Cache probe: resume from the deepest cached plan prefix. ---------
   std::vector<Tuple> tuples;
-  {
+  size_t start_step = 0;  ///< First step that still has to execute.
+  if (cache_on) {
+    Span lookup_span(trace, "cache_lookup");
+    for (size_t s = steps.size(); s-- > 0;) {
+      const uint64_t key = step_key(s);
+      std::shared_ptr<const CachedStepResult> entry;
+      const char* tier = "run";
+      if (cache->run != nullptr) entry = cache->run->Get(key);
+      if (entry == nullptr && cache->shared != nullptr) {
+        entry = cache->shared->Get(key);
+        tier = "shared";
+      }
+      if (entry == nullptr) continue;
+      // Entries are shared-const; copy so the pipeline can mutate.
+      tuples = entry->tuples;
+      if (excluding && s >= static_cast<size_t>(dist_step)) {
+        // The entry predates some answers (or, if tainted, was filtered
+        // against an older, smaller exclusion set — the set only grows
+        // within a run); re-filtering against the current set lands on
+        // exactly the tuple set an uncached pass would produce.
+        drop_excluded(&tuples, &ctr);
+      }
+      ctr.cache_step_hits += s + 1;
+      start_step = s + 1;
+      lookup_span.Annotate("cache_hit", tier);
+      lookup_span.Annotate("prefix_steps", static_cast<uint64_t>(s + 1));
+      lookup_span.Annotate("tuples", static_cast<uint64_t>(tuples.size()));
+      break;
+    }
+  }
+  // Stores the tuple set alive after computing step `s` into the enabled
+  // tiers (tainted entries — exclusion-filtered at or past the
+  // distinguished step — stay run-local; see CachedStepResult).
+  auto store_step = [&](size_t s) {
+    if (!cache_on) return;
+    ++ctr.cache_step_misses;
+    auto entry = std::make_shared<CachedStepResult>();
+    entry->tuples = tuples;
+    entry->tainted = excluding && s >= static_cast<size_t>(dist_step);
+    entry->bytes = CachedStepResult::ApproxBytes(entry->tuples);
+    const uint64_t key = step_key(s);
+    if (cache->run != nullptr) cache->run->Put(key, entry);
+    if (cache->shared != nullptr && !entry->tainted) {
+      cache->shared->Put(key, std::move(entry));
+    }
+  };
+
+  // --- Step 0: seed tuples from the first scan list. -------------------
+  if (start_step == 0) {
     const PlanStep& step0 = steps[0];
     Span scan_span(trace, "scan_step");
     scan_span.Annotate("step", uint64_t{0});
     scan_span.Annotate("tag", corpus.tags().Name(step0.tag));
-    const std::vector<NodeRef>& scan0 = index_->Scan(step0.tag);
+    // Bind the handle itself: it pins the list against LRU eviction of
+    // merged supertype scans (a plain vector reference would dangle).
+    const ScanHandle scan0 = index_->Scan(step0.tag);
     auto seed = [&](size_t begin, size_t end, std::vector<Tuple>* out,
                     ExecCounters* c) {
       for (size_t i = begin; i < end; ++i) {
@@ -251,12 +325,19 @@ std::vector<RankedAnswer> PlanEvaluator::Evaluate(
           t.penalty += pp.penalty;
         }
         if (!ok) continue;
+        if (excluding && dist_step == 0 &&
+            cache->exclude->count(ref) != 0) {
+          ++c->tuples_excluded;
+          continue;
+        }
         ++c->tuples_created;
         out->push_back(std::move(t));
       }
     };
     ChunkedExtend(pool, scan0.size(), /*grain=*/1024, &tuples, &ctr, seed);
     DominancePrune(plan.LiveSteps(0), &tuples);
+    store_step(0);
+    start_step = 1;
     scan_span.Annotate("candidates", ctr.candidates_probed);
     scan_span.Annotate("tuples_out", static_cast<uint64_t>(tuples.size()));
   }
@@ -292,9 +373,9 @@ std::vector<RankedAnswer> PlanEvaluator::Evaluate(
   };
 
   // --- Subsequent steps. ------------------------------------------------
-  for (size_t s = 1; s < steps.size(); ++s) {
+  for (size_t s = start_step; s < steps.size(); ++s) {
     const PlanStep& step = steps[s];
-    const std::vector<NodeRef>& scan = index_->Scan(step.tag);
+    const ScanHandle scan = index_->Scan(step.tag);  // Pins the list.
 
     Span step_span(trace, "join_step");
     step_span.Annotate("step", static_cast<uint64_t>(s));
@@ -346,6 +427,15 @@ std::vector<RankedAnswer> PlanEvaluator::Evaluate(
           if (!ok) continue;
           matched = true;
           next.bindings.push_back(*it);
+          // Incremental DPO: the node this tuple answers for is already
+          // in the result — everything downstream of it is wasted work.
+          // (`matched` is already set, so the nullable fallback cannot
+          // resurrect the tuple.)
+          if (excluding && s == static_cast<size_t>(dist_step) &&
+              cache->exclude->count(*it) != 0) {
+            ++c->tuples_excluded;
+            continue;
+          }
           if (prune &&
               plan.base_score() - next.penalty + ks_bonus < bound) {
             ++c->tuples_pruned;
@@ -402,6 +492,9 @@ std::vector<RankedAnswer> PlanEvaluator::Evaluate(
       ChunkedExtend(pool, work.size(), /*grain=*/64, &out, &ctr,
                     [&](size_t begin, size_t end, std::vector<Tuple>* o,
                         ExecCounters* c) {
+                      // Most tuples survive a step (match or null-bind),
+                      // so one-output-per-input is the right first guess.
+                      o->reserve(o->size() + (end - begin));
                       for (size_t i = begin; i < end; ++i) {
                         extend(*work[i], o, c);
                       }
@@ -432,6 +525,7 @@ std::vector<RankedAnswer> PlanEvaluator::Evaluate(
       ChunkedExtend(pool, tuples.size(), /*grain=*/64, &out, &ctr,
                     [&](size_t begin, size_t end, std::vector<Tuple>* o,
                         ExecCounters* c) {
+                      o->reserve(o->size() + (end - begin));
                       for (size_t i = begin; i < end; ++i) {
                         extend(tuples[i], o, c);
                       }
@@ -439,6 +533,7 @@ std::vector<RankedAnswer> PlanEvaluator::Evaluate(
     }
     DominancePrune(plan.LiveSteps(s), &out);
     tuples = std::move(out);
+    store_step(s);
     step_span.Annotate("candidates", ctr.candidates_probed - candidates_before);
     step_span.Annotate("pruned", ctr.tuples_pruned - pruned_before);
     step_span.Annotate("tuples_out", static_cast<uint64_t>(tuples.size()));
@@ -457,7 +552,7 @@ std::vector<RankedAnswer> PlanEvaluator::Evaluate(
     for (const JoinPlan::ContainsChain& chain : plan.contains_chains()) {
       auto res_it = contains_results.find(chain.expr.ToString());
       if (res_it == contains_results.end()) continue;
-      const ContainsResult* result = res_it->second;
+      const ContainsResult* result = res_it->second.get();
       for (int cs : chain.chain_steps) {
         const NodeRef b = t.bindings[static_cast<size_t>(cs)];
         if (IsNull(b)) continue;
@@ -500,6 +595,9 @@ std::vector<RankedAnswer> PlanEvaluator::Evaluate(
   static Counter* m_sorts = reg.counter("exec.score_sorts");
   static Counter* m_sorted = reg.counter("exec.score_sorted_items");
   static Gauge* m_buckets = reg.gauge("exec.buckets_peak");
+  static Counter* m_cache_hits = reg.counter("exec.cache_step_hits");
+  static Counter* m_cache_misses = reg.counter("exec.cache_step_misses");
+  static Counter* m_excluded = reg.counter("exec.tuples_excluded");
   m_passes->Inc(ctr.plan_passes);
   m_probed->Inc(ctr.candidates_probed);
   m_created->Inc(ctr.tuples_created);
@@ -507,6 +605,9 @@ std::vector<RankedAnswer> PlanEvaluator::Evaluate(
   m_sorts->Inc(ctr.score_sorts);
   m_sorted->Inc(ctr.score_sorted_items);
   m_buckets->Max(static_cast<int64_t>(ctr.buckets_peak));
+  m_cache_hits->Inc(ctr.cache_step_hits);
+  m_cache_misses->Inc(ctr.cache_step_misses);
+  m_excluded->Inc(ctr.tuples_excluded);
   return answers;
 }
 

@@ -7,6 +7,7 @@
 #include "common/thread_pool.h"
 #include "common/trace.h"
 #include "exec/plan.h"
+#include "exec/result_cache.h"
 #include "ir/engine.h"
 #include "rank/score.h"
 #include "stats/element_index.h"
@@ -25,6 +26,9 @@ struct ExecCounters {
   uint64_t score_sorted_items = 0; ///< Total items passed through them.
   uint64_t buckets_peak = 0;       ///< Max live buckets (Hybrid).
   uint64_t rounds_pruned_static = 0;  ///< Rounds skipped by static analysis.
+  uint64_t cache_step_hits = 0;    ///< Plan steps skipped via cached prefixes.
+  uint64_t cache_step_misses = 0;  ///< Plan steps computed while caching.
+  uint64_t tuples_excluded = 0;    ///< Tuples dropped: answer already known.
 
   /// Accumulates `other` into this: sums every count, maxes buckets_peak.
   void Add(const ExecCounters& other);
@@ -42,6 +46,9 @@ struct ExecCounters {
     fn("score_sorted_items", score_sorted_items);
     fn("buckets_peak", buckets_peak);
     fn("rounds_pruned_static", rounds_pruned_static);
+    fn("cache_step_hits", cache_step_hits);
+    fn("cache_step_misses", cache_step_misses);
+    fn("tuples_excluded", tuples_excluded);
   }
 };
 
@@ -86,12 +93,24 @@ class PlanEvaluator {
   /// order. The pruning bound is fixed per step before the fan-out, so
   /// answers, scores, and every counter are byte-identical to the serial
   /// run at any thread count (DESIGN.md §10).
+  ///
+  /// `cache`, when non-null, enables the sub-plan result cache (DESIGN.md
+  /// §12): before executing, the evaluator probes the run-local and
+  /// shared tiers for the deepest cached plan prefix (keyed by step
+  /// fingerprint + corpus generation + mode/scheme/k) and resumes from
+  /// it, storing every step it does compute. With cache->exclude set
+  /// (incremental DPO), tuples whose distinguished binding was already
+  /// answered are dropped at the step that binds it. Answers, penalties
+  /// and relaxation metadata are byte-identical with or without the
+  /// cache; only the work counters differ (cache_step_hits/misses,
+  /// tuples_excluded, and the work the skipped steps never did).
   std::vector<RankedAnswer> Evaluate(const JoinPlan& plan, EvalMode mode,
                                      size_t k, RankScheme scheme,
                                      double exact_penalty,
                                      ExecCounters* counters,
                                      TraceCollector* trace = nullptr,
-                                     ThreadPool* pool = nullptr);
+                                     ThreadPool* pool = nullptr,
+                                     const EvalCacheContext* cache = nullptr);
 
  private:
   const ElementIndex* index_;

@@ -18,7 +18,7 @@ double SelectivityEstimator::EstimateAnswers(const Tpq& q) {
     }
     if (ir_ != nullptr) {
       for (const FtExpr& e : q.node(v).contains) {
-        const ContainsResult* result = ir_->Evaluate(e);
+        const std::shared_ptr<const ContainsResult> result = ir_->Evaluate(e);
         const TagId t = q.node(v).tag;
         const double total = static_cast<double>(stats_->TagCount(t));
         const double have = static_cast<double>(result->CountWithTag(t));

@@ -30,6 +30,11 @@ bool Contains(const Corpus& corpus, NodeRef anc, NodeRef desc) {
 void JoinRange(const Corpus& corpus, const std::vector<NodeRef>& ancestors,
                const std::vector<NodeRef>& descendants, size_t d_begin,
                size_t d_end, bool parent_only, std::vector<JoinPair>* out) {
+  // Parent-only joins emit at most one pair per descendant; ad joins
+  // commonly emit about one (nesting of the same tag pair is shallow in
+  // practice), so a one-per-descendant reservation avoids the early
+  // doubling churn either way.
+  out->reserve(out->size() + (d_end - d_begin));
   std::vector<NodeRef> stack;
   size_t a = 0;
   size_t d = d_begin;

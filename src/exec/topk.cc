@@ -16,20 +16,20 @@ namespace flexpath {
 
 namespace {
 
-struct NodeRefHash {
-  size_t operator()(const NodeRef& r) const {
-    return std::hash<uint64_t>()((static_cast<uint64_t>(r.doc) << 32) |
-                                 r.node);
-  }
-};
-
 void SortByScheme(std::vector<RankedAnswer>* answers, RankScheme scheme) {
-  std::sort(answers->begin(), answers->end(),
-            [&](const RankedAnswer& a, const RankedAnswer& b) {
-              if (RanksBefore(a.score, b.score, scheme)) return true;
-              if (RanksBefore(b.score, a.score, scheme)) return false;
-              return a.node < b.node;
-            });
+  auto before = [&](const RankedAnswer& a, const RankedAnswer& b) {
+    if (RanksBefore(a.score, b.score, scheme)) return true;
+    if (RanksBefore(b.score, a.score, scheme)) return false;
+    return a.node < b.node;
+  };
+  // The DPO merge appends rounds in non-increasing score order and each
+  // round arrives sorted, so the list is usually already in final order.
+  // Answer nodes are unique (the seen-set dedups), making `before` a
+  // strict total order — is_sorted therefore implies the exact order the
+  // sort would produce, and skipping it is byte-identical (guarded by
+  // the differential harness).
+  if (std::is_sorted(answers->begin(), answers->end(), before)) return;
+  std::sort(answers->begin(), answers->end(), before);
 }
 
 /// Attaches one round's counter delta to its span, one annotation per
@@ -75,6 +75,18 @@ const char* AlgorithmName(Algorithm algo) {
       return "SSO";
     case Algorithm::kHybrid:
       return "Hybrid";
+  }
+  return "unknown";
+}
+
+const char* CacheTierName(CacheTier tier) {
+  switch (tier) {
+    case CacheTier::kOff:
+      return "off";
+    case CacheTier::kRun:
+      return "run";
+    case CacheTier::kShared:
+      return "shared";
   }
   return "unknown";
 }
@@ -233,6 +245,27 @@ Result<TopKResult> TopKProcessor::RunDpo(const Tpq& q,
     return round == 0 ? 0.0 : schedule[round - 1].cumulative_penalty;
   };
 
+  // Sub-plan result cache (DESIGN.md §12). The run tier lives for this
+  // call; consecutive rounds differ by one dropped predicate, so round
+  // i+1's plan shares a fingerprint-identical prefix with round i and
+  // resumes from it. With incremental_dpo the merged answer set is pushed
+  // into each round's evaluation as an exclusion set — safe to read from
+  // wave workers because merges (the only writes) happen strictly after
+  // the wave's Wait().
+  std::optional<ResultCache> run_cache;
+  EvalCacheContext cache_ctx;
+  const EvalCacheContext* cache = nullptr;
+  if (opts.result_cache.tier != CacheTier::kOff) {
+    run_cache.emplace(opts.result_cache.run_budget_bytes);
+    cache_ctx.run = &*run_cache;
+    if (opts.result_cache.tier == CacheTier::kShared) {
+      cache_ctx.shared = &ResultCache::Global();
+    }
+    cache_ctx.corpus_generation = index_->corpus().generation();
+    if (opts.result_cache.incremental_dpo) cache_ctx.exclude = &seen;
+    cache = &cache_ctx;
+  }
+
   // Annotates a round span (RAII or collector-root) with the round's
   // identity — shared by the serial and worker paths so both produce the
   // same span, in the same annotation order.
@@ -287,7 +320,7 @@ Result<TopKResult> TopKProcessor::RunDpo(const Tpq& q,
     }
     out->answers = evaluator_.Evaluate(*plan, EvalMode::kExact, opts.k,
                                        opts.scheme, round_penalty(round),
-                                       &out->counters, rc, evpool);
+                                       &out->counters, rc, evpool, cache);
   };
 
   // Merges one evaluated round into the result, replaying the serial
@@ -483,6 +516,26 @@ Result<TopKResult> TopKProcessor::RunEncoded(const Tpq& q,
   };
   skip_provably_empty();
 
+  // Sub-plan result cache: a re-encoded pass differs from the pass
+  // before only in the steps that gained optional predicates, so the run
+  // tier lets the restart loop resume from the unchanged prefix. (The
+  // prune-off retry keys differently on purpose: the threshold bound
+  // changes step outputs, so pruned and unpruned passes must not share
+  // entries.) No exclusion set: encoded modes produce the whole answer
+  // set in one pass.
+  std::optional<ResultCache> run_cache;
+  EvalCacheContext cache_ctx;
+  const EvalCacheContext* cache = nullptr;
+  if (opts.result_cache.tier != CacheTier::kOff) {
+    run_cache.emplace(opts.result_cache.run_budget_bytes);
+    cache_ctx.run = &*run_cache;
+    if (opts.result_cache.tier == CacheTier::kShared) {
+      cache_ctx.shared = &ResultCache::Global();
+    }
+    cache_ctx.corpus_generation = index_->corpus().generation();
+    cache = &cache_ctx;
+  }
+
   bool prune = true;
   for (;;) {
     const Tpq& relaxed = encoded == 0 ? q : schedule[encoded - 1].relaxed;
@@ -511,7 +564,7 @@ Result<TopKResult> TopKProcessor::RunEncoded(const Tpq& q,
     // step out over tuple chunks on the pool.
     result.answers = evaluator_.Evaluate(*plan, mode, prune ? opts.k : 0,
                                          opts.scheme, 0.0, &pass_counters,
-                                         trace, pool);
+                                         trace, pool, cache);
     result.counters.Add(pass_counters);
     AnnotateCounters(&pass_span, pass_counters);
     pass_span.Annotate("answers",

@@ -35,6 +35,33 @@ enum class Algorithm : uint8_t {
 
 const char* AlgorithmName(Algorithm algo);
 
+/// Which tiers of the sub-plan result cache a run may use (DESIGN.md
+/// §12). Off by default: caching never changes answers, penalties or
+/// relaxation metadata, but it does change the work counters, and the
+/// default keeps every counter-exact differential guarantee intact.
+enum class CacheTier : uint8_t {
+  kOff,     ///< No caching; every plan step executes from scratch.
+  kRun,     ///< Run-local only: DPO round i+1 reuses round i's shared
+            ///  plan prefix within one TopK call.
+  kShared,  ///< Run-local + the process-wide LRU (ResultCache::Global()),
+            ///  which persists across queries and makes repeats warm.
+};
+
+const char* CacheTierName(CacheTier tier);
+
+struct ResultCacheOptions {
+  CacheTier tier = CacheTier::kOff;
+  /// Byte budget of the run-local tier (it dies with the run; the
+  /// process-wide tier's budget belongs to ResultCache::Global()).
+  size_t run_budget_bytes = size_t{64} << 20;
+  /// DPO only: push the already-answered set into each round's
+  /// evaluation so the round computes only its delta (the paper's
+  /// "reusing prior results", Section 5.1). Answers are identical either
+  /// way — the merge deduplicates by first round — so this is purely a
+  /// work saver. Ignored when tier is kOff.
+  bool incremental_dpo = true;
+};
+
 struct TopKOptions {
   size_t k = 10;
   RankScheme scheme = RankScheme::kStructureFirst;
@@ -71,6 +98,10 @@ struct TopKOptions {
   /// and counters merge in chunk order. Answers, penalties, counters and
   /// trace structure are identical at any thread count (DESIGN.md §10).
   size_t num_threads = 0;
+  /// Sub-plan result cache knobs (DESIGN.md §12). Answers, penalties and
+  /// relaxation metadata are byte-identical at every tier; work counters
+  /// reflect the work actually done, so cache hits make them drop.
+  ResultCacheOptions result_cache = {};
 };
 
 struct TopKResult {

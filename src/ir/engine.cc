@@ -80,10 +80,20 @@ size_t ContainsResult::CountWithTag(TagId tag) const {
   return count;
 }
 
-IrEngine::IrEngine(const Corpus* corpus, TokenizerOptions opts)
-    : corpus_(corpus), index_(corpus, opts) {}
+size_t ContainsResult::ApproxBytes() const {
+  size_t bytes = sizeof(ContainsResult);
+  bytes += satisfying_.capacity() * sizeof(NodeRef);
+  bytes += most_specific_.capacity() * sizeof(ScoredNode);
+  for (const std::vector<double>& level : rmq_) {
+    bytes += level.capacity() * sizeof(double);
+  }
+  return bytes;
+}
 
-const ContainsResult* IrEngine::Evaluate(const FtExpr& expr) {
+IrEngine::IrEngine(const Corpus* corpus, TokenizerOptions opts)
+    : corpus_(corpus), index_(corpus, opts), cache_(kDefaultCacheBudgetBytes) {}
+
+std::shared_ptr<const ContainsResult> IrEngine::Evaluate(const FtExpr& expr) {
   static Counter* m_calls =
       MetricsRegistry::Global().counter("ir.evaluate_calls");
   static Counter* m_hits = MetricsRegistry::Global().counter("ir.cache_hits");
@@ -96,10 +106,9 @@ const ContainsResult* IrEngine::Evaluate(const FtExpr& expr) {
   // race the insert. First-time evaluation serializing is acceptable —
   // every later call is a cheap hit under the lock.
   MutexLock lock(cache_mu_);
-  auto it = cache_.find(key);
-  if (it != cache_.end()) {
+  if (std::shared_ptr<const ContainsResult> hit = cache_.Get(key)) {
     m_hits->Inc();
-    return it->second.get();
+    return hit;
   }
 
   std::vector<NodeRef> satisfying = SatisfyingSet(expr);
@@ -143,11 +152,37 @@ const ContainsResult* IrEngine::Evaluate(const FtExpr& expr) {
     for (ScoredNode& s : specific) s.score = 1.0;
   }
 
-  auto result = std::make_unique<ContainsResult>(
+  auto result = std::make_shared<const ContainsResult>(
       corpus_, std::move(satisfying), std::move(specific));
-  const ContainsResult* out = result.get();
-  cache_.emplace(key, std::move(result));
-  return out;
+  cache_.Put(key, result, result->ApproxBytes());
+  static Counter* m_evictions =
+      MetricsRegistry::Global().counter("ir.cache_evictions");
+  static Gauge* g_bytes = MetricsRegistry::Global().gauge("ir.cache_bytes");
+  static Gauge* g_entries =
+      MetricsRegistry::Global().gauge("ir.cache_entries");
+  const uint64_t ev = cache_.evictions();
+  if (ev > exported_evictions_) {
+    m_evictions->Inc(ev - exported_evictions_);
+    exported_evictions_ = ev;
+  }
+  g_bytes->Set(static_cast<int64_t>(cache_.bytes()));
+  g_entries->Set(static_cast<int64_t>(cache_.size()));
+  return result;
+}
+
+void IrEngine::SetCacheBudget(size_t budget_bytes) {
+  MutexLock lock(cache_mu_);
+  cache_.SetBudget(budget_bytes);
+}
+
+IrEngine::CacheStats IrEngine::GetCacheStats() const {
+  MutexLock lock(cache_mu_);
+  CacheStats s;
+  s.evictions = cache_.evictions();
+  s.entries = cache_.size();
+  s.bytes = cache_.bytes();
+  s.budget = cache_.budget();
+  return s;
 }
 
 std::vector<NodeRef> IrEngine::SatisfyingSet(const FtExpr& expr) const {

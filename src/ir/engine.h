@@ -1,11 +1,13 @@
 #ifndef FLEXPATH_IR_ENGINE_H_
 #define FLEXPATH_IR_ENGINE_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "common/lru_cache.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "ir/ft_expr.h"
@@ -53,6 +55,11 @@ class ContainsResult {
   /// safe to call from concurrent query workers.
   size_t CountWithTag(TagId tag) const;
 
+  /// Charged size of this result in the engine's LRU cache: the node and
+  /// score vectors plus the sparse table (the per-tag count memo is small
+  /// and grows after insertion, so it is not charged).
+  size_t ApproxBytes() const;
+
  private:
   const Corpus* corpus_;
   std::vector<NodeRef> satisfying_;
@@ -70,10 +77,14 @@ class ContainsResult {
 
 /// The full-text search engine of the FleXPath architecture (Figure 7):
 /// evaluates contains predicates and returns ranked (node, score) lists.
-/// Results are cached by canonical expression text; the cache owns them
-/// and pointers stay valid for the engine's lifetime.
+/// Results are cached by canonical expression text in a byte-budgeted
+/// LRU (the cache used to grow without bound); callers hold results as
+/// shared_ptr, so eviction never invalidates one in use.
 class IrEngine {
  public:
+  /// Default byte budget of the contains-result cache.
+  static constexpr size_t kDefaultCacheBudgetBytes = size_t{128} << 20;
+
   /// `corpus` must outlive the engine and not change after construction.
   explicit IrEngine(const Corpus* corpus, TokenizerOptions opts = {});
 
@@ -83,8 +94,21 @@ class IrEngine {
   /// Evaluates `expr`, returning a cached result. Safe to call from
   /// concurrent query workers: the cache is mutex-guarded (first-time
   /// evaluation of an expression serializes; hits are a lookup under the
-  /// lock), and returned pointers stay valid for the engine's lifetime.
-  const ContainsResult* Evaluate(const FtExpr& expr);
+  /// lock). The returned result stays valid as long as the caller holds
+  /// the pointer, even if the LRU evicts the entry meanwhile.
+  std::shared_ptr<const ContainsResult> Evaluate(const FtExpr& expr);
+
+  /// Adjusts the contains-result cache budget, evicting immediately if
+  /// over.
+  void SetCacheBudget(size_t budget_bytes);
+
+  struct CacheStats {
+    uint64_t evictions = 0;
+    size_t entries = 0;
+    size_t bytes = 0;
+    size_t budget = 0;
+  };
+  CacheStats GetCacheStats() const;
 
   const InvertedIndex& index() const { return index_; }
 
@@ -111,9 +135,12 @@ class IrEngine {
 
   const Corpus* corpus_;
   InvertedIndex index_;
-  Mutex cache_mu_;
-  std::unordered_map<std::string, std::unique_ptr<ContainsResult>> cache_
+  mutable Mutex cache_mu_;
+  mutable LruByteCache<std::string, ContainsResult> cache_
       GUARDED_BY(cache_mu_);
+  /// Evictions already mirrored into the ir.cache_evictions counter
+  /// (per-instance high-water mark, so several engines sum correctly).
+  uint64_t exported_evictions_ GUARDED_BY(cache_mu_) = 0;
 };
 
 }  // namespace flexpath

@@ -94,12 +94,24 @@ std::string FtExpr::ToString() const {
       }
       return out + ", " + std::to_string(window_) + ")";
     }
-    case FtKind::kAnd:
-      return "(" + children_[0].ToString() + " and " +
-             children_[1].ToString() + ")";
-    case FtKind::kOr:
-      return "(" + children_[0].ToString() + " or " +
-             children_[1].ToString() + ")";
+    // Sequential appends rather than one chained concatenation: GCC 12's
+    // -Wrestrict misfires on the chained operator+ form here.
+    case FtKind::kAnd: {
+      std::string out = "(";
+      out += children_[0].ToString();
+      out += " and ";
+      out += children_[1].ToString();
+      out += ")";
+      return out;
+    }
+    case FtKind::kOr: {
+      std::string out = "(";
+      out += children_[0].ToString();
+      out += " or ";
+      out += children_[1].ToString();
+      out += ")";
+      return out;
+    }
     case FtKind::kNot:
       return "(not " + children_[0].ToString() + ")";
   }

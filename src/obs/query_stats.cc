@@ -21,9 +21,16 @@ std::string ShapeSubtree(const Tpq& q, VarId var, const TagDict& dict,
   out += n.tag == kInvalidTag ? "*" : dict.Name(n.tag);
   if (var == q.distinguished()) out += '!';
   std::vector<std::string> preds;
-  for (const FtExpr& e : n.contains) preds.push_back("C" + e.ToString());
+  // Sequential appends: GCC 12's -Wrestrict misfires on "C" + ToString().
+  for (const FtExpr& e : n.contains) {
+    std::string pr = "C";
+    pr += e.ToString();
+    preds.push_back(std::move(pr));
+  }
   for (const AttrPred& a : n.attr_preds) {
-    preds.push_back("A" + a.ToString(&dict));
+    std::string pr = "A";
+    pr += a.ToString(&dict);
+    preds.push_back(std::move(pr));
   }
   std::vector<std::string> kids;
   for (VarId c : q.Children(var)) {

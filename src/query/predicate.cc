@@ -6,7 +6,13 @@ namespace flexpath {
 
 namespace {
 
-std::string VarName(VarId v) { return "$" + std::to_string(v); }
+// Sequential appends rather than one chained concatenation throughout
+// this file: GCC 12's -Wrestrict misfires on the chained operator+ form.
+std::string VarName(VarId v) {
+  std::string out = "$";
+  out += std::to_string(v);
+  return out;
+}
 
 bool ParseNumber(const std::string& s, double* out) {
   if (s.empty()) return false;
@@ -18,21 +24,35 @@ bool ParseNumber(const std::string& s, double* out) {
 }  // namespace
 
 std::string Predicate::ToString(const TagDict* dict) const {
+  std::string out;
   switch (kind) {
     case PredKind::kPc:
-      return "pc(" + VarName(x) + "," + VarName(y) + ")";
     case PredKind::kAd:
-      return "ad(" + VarName(x) + "," + VarName(y) + ")";
-    case PredKind::kTag: {
-      std::string name = dict != nullptr && tag != kInvalidTag
-                             ? dict->Name(tag)
-                             : "#" + std::to_string(tag);
-      return VarName(x) + ".tag=" + name;
-    }
+      out = kind == PredKind::kPc ? "pc(" : "ad(";
+      out += VarName(x);
+      out += ",";
+      out += VarName(y);
+      out += ")";
+      return out;
+    case PredKind::kTag:
+      out = VarName(x);
+      out += ".tag=";
+      if (dict != nullptr && tag != kInvalidTag) {
+        out += dict->Name(tag);
+      } else {
+        out += "#";
+        out += std::to_string(tag);
+      }
+      return out;
     case PredKind::kContains:
-      return "contains(" + VarName(x) + "," + expr_key + ")";
+      out = "contains(";
+      out += VarName(x);
+      out += ",";
+      out += expr_key;
+      out += ")";
+      return out;
   }
-  return "";
+  return out;
 }
 
 bool AttrPred::Matches(const std::string& data_value) const {
@@ -64,10 +84,18 @@ bool AttrPred::Matches(const std::string& data_value) const {
 
 std::string AttrPred::ToString(const TagDict* dict) const {
   static constexpr const char* kOps[] = {"=", "!=", "<", "<=", ">", ">="};
-  std::string name = dict != nullptr && attr != kInvalidTag
-                         ? dict->Name(attr)
-                         : "#" + std::to_string(attr);
-  return "@" + name + kOps[static_cast<int>(op)] + "'" + value + "'";
+  std::string out = "@";
+  if (dict != nullptr && attr != kInvalidTag) {
+    out += dict->Name(attr);
+  } else {
+    out += "#";
+    out += std::to_string(attr);
+  }
+  out += kOps[static_cast<int>(op)];
+  out += "'";
+  out += value;
+  out += "'";
+  return out;
 }
 
 }  // namespace flexpath

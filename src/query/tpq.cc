@@ -219,14 +219,21 @@ std::string Tpq::ToString(const TagDict& dict) const {
       out += n.tag == kInvalidTag ? "*" : dict.Name(n.tag);
       if (var == q.distinguished()) out += "!";
       std::vector<std::string> preds;
+      // Sequential appends rather than one chained concatenation: GCC
+      // 12's -Wrestrict misfires on the chained operator+ form here.
       for (const FtExpr& e : n.contains) {
-        preds.push_back(".contains(" + e.ToString() + ")");
+        std::string p = ".contains(";
+        p += e.ToString();
+        p += ")";
+        preds.push_back(std::move(p));
       }
       for (const AttrPred& a : n.attr_preds) {
         preds.push_back(a.ToString(&dict));
       }
       for (VarId c : q.Children(var)) {
-        preds.push_back("." + Render(c, q.AxisOf(c), false));
+        std::string p = ".";
+        p += Render(c, q.AxisOf(c), false);
+        preds.push_back(std::move(p));
       }
       if (!preds.empty()) {
         out += "[";
@@ -250,8 +257,17 @@ std::string Tpq::CanonicalSubtree(size_t idx) const {
   out += std::to_string(n.tag);
   if (n.var == distinguished_) out += "!";
   std::vector<std::string> preds;
-  for (const FtExpr& e : n.contains) preds.push_back("C" + e.ToString());
-  for (const AttrPred& a : n.attr_preds) preds.push_back("A" + a.ToString());
+  // Sequential appends: GCC 12's -Wrestrict misfires on "C" + ToString().
+  for (const FtExpr& e : n.contains) {
+    std::string p = "C";
+    p += e.ToString();
+    preds.push_back(std::move(p));
+  }
+  for (const AttrPred& a : n.attr_preds) {
+    std::string p = "A";
+    p += a.ToString();
+    preds.push_back(std::move(p));
+  }
   std::vector<std::string> kids;
   for (size_t i = 0; i < nodes_.size(); ++i) {
     if (parent_[i] == static_cast<int>(idx)) {

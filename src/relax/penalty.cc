@@ -46,7 +46,8 @@ PenaltyModel::PenaltyModel(const Tpq& query, const DocumentStats* stats,
           ratio = 1.0;
           break;
         }
-        const ContainsResult* result = ir->Evaluate(expr_it->second);
+        const std::shared_ptr<const ContainsResult> result =
+            ir->Evaluate(expr_it->second);
         const TagId ti = tag_of(p.x);
         const TagId tl = tag_of(query.Parent(p.x));
         const double child_count =

@@ -1,12 +1,26 @@
 #include "stats/element_index.h"
 
 #include <algorithm>
+#include <utility>
+
+#include "common/metrics.h"
 
 namespace flexpath {
 
+namespace {
+
+/// Charged size of a merged scan list held by the cache.
+size_t MergedBytes(const std::vector<NodeRef>& list) {
+  return sizeof(std::vector<NodeRef>) + list.capacity() * sizeof(NodeRef);
+}
+
+}  // namespace
+
 ElementIndex::ElementIndex(const Corpus* corpus,
                            const TypeHierarchy* hierarchy)
-    : corpus_(corpus), hierarchy_(hierarchy) {
+    : corpus_(corpus),
+      hierarchy_(hierarchy),
+      merged_(kDefaultMergedBudgetBytes) {
   by_tag_.resize(corpus_->tags().size());
   for (DocId d = 0; d < corpus_->size(); ++d) {
     const Document& doc = corpus_->doc(d);
@@ -17,26 +31,56 @@ ElementIndex::ElementIndex(const Corpus* corpus,
   }
 }
 
-const std::vector<NodeRef>& ElementIndex::Scan(TagId tag) const {
-  if (tag == kInvalidTag) return empty_;
+ScanHandle ElementIndex::Scan(TagId tag) const {
+  if (tag == kInvalidTag) return ScanHandle(&empty_);
   if (hierarchy_ != nullptr && !hierarchy_->empty()) {
     const std::vector<TagId> closure = hierarchy_->SubtypeClosure(tag);
     if (closure.size() > 1) {
       MutexLock lock(merged_mu_);
-      auto it = merged_.find(tag);
-      if (it != merged_.end()) return it->second;
-      std::vector<NodeRef> merged;
+      if (std::shared_ptr<const std::vector<NodeRef>> hit = merged_.Get(tag)) {
+        ++merged_hits_;
+        return ScanHandle(std::move(hit));
+      }
+      ++merged_misses_;
+      auto merged = std::make_shared<std::vector<NodeRef>>();
       for (TagId t : closure) {
         if (t < by_tag_.size()) {
-          merged.insert(merged.end(), by_tag_[t].begin(), by_tag_[t].end());
+          merged->insert(merged->end(), by_tag_[t].begin(),
+                         by_tag_[t].end());
         }
       }
-      std::sort(merged.begin(), merged.end());
-      return merged_.emplace(tag, std::move(merged)).first->second;
+      std::sort(merged->begin(), merged->end());
+      const size_t bytes = MergedBytes(*merged);
+      std::shared_ptr<const std::vector<NodeRef>> owned = std::move(merged);
+      merged_.Put(tag, owned, bytes);
+      static Gauge* g_bytes =
+          MetricsRegistry::Global().gauge("stats.element_index.merged_bytes");
+      static Gauge* g_entries = MetricsRegistry::Global().gauge(
+          "stats.element_index.merged_entries");
+      g_bytes->Set(static_cast<int64_t>(merged_.bytes()));
+      g_entries->Set(static_cast<int64_t>(merged_.size()));
+      return ScanHandle(std::move(owned));
     }
   }
-  if (tag >= by_tag_.size()) return empty_;
-  return by_tag_[tag];
+  if (tag >= by_tag_.size()) return ScanHandle(&empty_);
+  return ScanHandle(&by_tag_[tag]);
+}
+
+void ElementIndex::SetMergedScanBudget(size_t budget_bytes) {
+  MutexLock lock(merged_mu_);
+  merged_.SetBudget(budget_bytes);
+}
+
+ElementIndex::MergedCacheStats ElementIndex::GetMergedCacheStats() const {
+  MutexLock lock(merged_mu_);
+  MergedCacheStats s;
+  s.hits = merged_hits_;
+  s.misses = merged_misses_;
+  s.evictions = merged_.evictions();
+  s.entries = merged_.size();
+  s.bytes = merged_.bytes();
+  s.budget = merged_.budget();
+  return s;
 }
 
 }  // namespace flexpath

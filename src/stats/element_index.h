@@ -1,9 +1,12 @@
 #ifndef FLEXPATH_STATS_ELEMENT_INDEX_H_
 #define FLEXPATH_STATS_ELEMENT_INDEX_H_
 
-#include <map>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "common/lru_cache.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "xml/corpus.h"
@@ -12,6 +15,41 @@
 
 namespace flexpath {
 
+/// A scan list handed out by ElementIndex::Scan. Behaves like a const
+/// std::vector<NodeRef>& (iteration, size, indexing, implicit conversion),
+/// but additionally pins the list: when the list came from the bounded
+/// merged-scan cache it holds a shared reference, so a concurrent LRU
+/// eviction can never invalidate it.
+///
+/// Lifetime rule: bind the *handle* — `const auto scan = index.Scan(t);`
+/// or iterate the temporary directly (`for (NodeRef r : index.Scan(t))`,
+/// where the range-for extends the handle's lifetime). Do NOT bind a
+/// reference to the converted vector of a temporary handle
+/// (`const std::vector<NodeRef>& v = index.Scan(t);` dangles once the
+/// handle dies).
+class ScanHandle {
+ public:
+  explicit ScanHandle(const std::vector<NodeRef>* list) : list_(list) {}
+  explicit ScanHandle(std::shared_ptr<const std::vector<NodeRef>> owned)
+      : owner_(std::move(owned)), list_(owner_.get()) {}
+
+  const std::vector<NodeRef>& operator*() const { return *list_; }
+  const std::vector<NodeRef>* operator->() const { return list_; }
+  operator const std::vector<NodeRef>&() const { return *list_; }
+
+  std::vector<NodeRef>::const_iterator begin() const {
+    return list_->begin();
+  }
+  std::vector<NodeRef>::const_iterator end() const { return list_->end(); }
+  size_t size() const { return list_->size(); }
+  bool empty() const { return list_->empty(); }
+  NodeRef operator[](size_t i) const { return (*list_)[i]; }
+
+ private:
+  std::shared_ptr<const std::vector<NodeRef>> owner_;  ///< Null: unowned.
+  const std::vector<NodeRef>* list_;
+};
+
 /// Tag-based access path: for each tag, the list of elements with that tag
 /// in global document order — i.e. sorted by (doc, start), which is the
 /// input format required by the structural join of Al-Khalifa et al. [1].
@@ -19,9 +57,15 @@ namespace flexpath {
 /// With a TypeHierarchy attached (the tag-generalization extension of
 /// Section 3.4), Scan(t) returns elements of t *or any transitive
 /// subtype*, so a query node constrained to a supertype matches all of
-/// its subtypes throughout the engine.
+/// its subtypes throughout the engine. Merged supertype scans are built
+/// lazily and kept in a byte-budgeted LRU (they used to accumulate
+/// without limit); evicted lists stay valid through the ScanHandle that
+/// pinned them.
 class ElementIndex {
  public:
+  /// Default byte budget of the merged-scan cache.
+  static constexpr size_t kDefaultMergedBudgetBytes = size_t{64} << 20;
+
   /// Builds the index in one corpus pass. `corpus` (and `hierarchy` if
   /// non-null) must outlive the index and not change afterwards.
   explicit ElementIndex(const Corpus* corpus,
@@ -32,12 +76,25 @@ class ElementIndex {
 
   /// Elements with tag `tag` (or a subtype), in document order. Empty
   /// list for unknown tags (including kInvalidTag). Safe to call from
-  /// concurrent query workers; returned references stay valid for the
-  /// index's lifetime.
-  const std::vector<NodeRef>& Scan(TagId tag) const;
+  /// concurrent query workers; the returned handle keeps its list valid
+  /// for the handle's lifetime (see ScanHandle).
+  ScanHandle Scan(TagId tag) const;
 
   /// Number of elements the scan returns — #(t), subtypes included.
   size_t Count(TagId tag) const { return Scan(tag).size(); }
+
+  /// Adjusts the merged-scan cache budget, evicting immediately if over.
+  void SetMergedScanBudget(size_t budget_bytes);
+
+  struct MergedCacheStats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    size_t entries = 0;
+    size_t bytes = 0;
+    size_t budget = 0;
+  };
+  MergedCacheStats GetMergedCacheStats() const;
 
   const Corpus& corpus() const { return *corpus_; }
   const TypeHierarchy* hierarchy() const { return hierarchy_; }
@@ -46,12 +103,15 @@ class ElementIndex {
   const Corpus* corpus_;
   const TypeHierarchy* hierarchy_;
   std::vector<std::vector<NodeRef>> by_tag_;  ///< Indexed by TagId.
-  /// Lazily merged supertype scans (only when hierarchy_ is set). A
-  /// node-based map so references handed out stay valid while the guarded
-  /// cache keeps growing under concurrent Scan calls.
+  /// Lazily merged supertype scans (only when hierarchy_ is set),
+  /// byte-bounded; entries are shared so eviction never dangles a
+  /// handed-out handle. Sizes are exported as the
+  /// stats.element_index.merged_* gauges.
   mutable Mutex merged_mu_;
-  mutable std::map<TagId, std::vector<NodeRef>> merged_
+  mutable LruByteCache<TagId, std::vector<NodeRef>> merged_
       GUARDED_BY(merged_mu_);
+  mutable uint64_t merged_hits_ GUARDED_BY(merged_mu_) = 0;
+  mutable uint64_t merged_misses_ GUARDED_BY(merged_mu_) = 0;
   std::vector<NodeRef> empty_;
 };
 

@@ -1,11 +1,20 @@
 #include "xml/corpus.h"
 
+#include <atomic>
+
 #include "xml/parser.h"
 
 namespace flexpath {
 
+namespace {
+/// Source of process-unique corpus generations (see Corpus::generation).
+std::atomic<uint64_t> g_corpus_generation{0};
+}  // namespace
+
 DocId Corpus::Add(Document doc) {
   docs_.push_back(std::move(doc));
+  generation_ =
+      g_corpus_generation.fetch_add(1, std::memory_order_relaxed) + 1;
   return static_cast<DocId>(docs_.size() - 1);
 }
 

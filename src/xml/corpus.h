@@ -1,7 +1,9 @@
 #ifndef FLEXPATH_XML_CORPUS_H_
 #define FLEXPATH_XML_CORPUS_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string_view>
 #include <vector>
 
@@ -23,6 +25,15 @@ struct NodeRef {
 
   friend bool operator==(const NodeRef&, const NodeRef&) = default;
   friend auto operator<=>(const NodeRef&, const NodeRef&) = default;
+};
+
+/// Hash functor for NodeRef keys (answer sets, cache maps). The single
+/// definition used throughout the engine.
+struct NodeRefHash {
+  size_t operator()(const NodeRef& r) const {
+    return std::hash<uint64_t>()((static_cast<uint64_t>(r.doc) << 32) |
+                                 r.node);
+  }
 };
 
 /// A collection of XML documents sharing one tag dictionary. This is the
@@ -66,9 +77,18 @@ class Corpus {
     return a.doc == d.doc && docs_[a.doc].IsParent(a.node, d.node);
   }
 
+  /// Content-state counter for cache invalidation: 0 for an empty corpus,
+  /// and a fresh process-unique value after every Add — so no two
+  /// distinct corpus states, even of different Corpus instances, ever
+  /// share a nonzero generation. Cache entries keyed by generation are
+  /// therefore unreachable the moment the corpus (or any other corpus
+  /// reusing the cache) changes.
+  uint64_t generation() const { return generation_; }
+
  private:
   TagDict tags_;
   std::vector<Document> docs_;
+  uint64_t generation_ = 0;
 };
 
 }  // namespace flexpath

@@ -70,13 +70,22 @@ std::map<std::string, uint64_t> CounterMap(const ExecCounters& c) {
 std::string Fingerprint(const TopKResult& r) {
   std::string s;
   for (const RankedAnswer& a : r.answers) {
-    s += std::to_string(a.node.doc) + ":" + std::to_string(a.node.node);
-    s += "/" + std::to_string(a.score.ss) + "+" + std::to_string(a.score.ks);
+    // Sequential appends: GCC 12's -Wrestrict misfires on chained +.
+    s += std::to_string(a.node.doc);
+    s += ":";
+    s += std::to_string(a.node.node);
+    s += "/";
+    s += std::to_string(a.score.ss);
+    s += "+";
+    s += std::to_string(a.score.ks);
     s += ";";
   }
-  s += "relaxations=" + std::to_string(r.relaxations_used);
-  s += ",penalty=" + std::to_string(r.penalty_applied);
-  s += ",dropped=" + std::to_string(r.predicates_dropped);
+  s += "relaxations=";
+  s += std::to_string(r.relaxations_used);
+  s += ",penalty=";
+  s += std::to_string(r.penalty_applied);
+  s += ",dropped=";
+  s += std::to_string(r.predicates_dropped);
   ExecCounters c = r.counters;
   // Sequential appends rather than one chained concatenation: GCC 12's
   // -Wrestrict misfires on the chained operator+ form here.

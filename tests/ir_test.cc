@@ -220,7 +220,7 @@ TEST_F(IrEngineTest, SubtreeTermFrequency) {
 TEST_F(IrEngineTest, SatisfyingSetIsAncestorClosed) {
   Result<FtExpr> e = ParseFtExpr("gold");
   ASSERT_TRUE(e.ok());
-  const ContainsResult* r = engine_->Evaluate(*e);
+  const std::shared_ptr<const ContainsResult> r = engine_->Evaluate(*e);
   // doc0: para(2) + its ancestors sec(1), doc(0); doc1: para(2), sec(1),
   // doc(0).
   EXPECT_TRUE(r->Satisfies(Ref(0, 0)));
@@ -234,7 +234,7 @@ TEST_F(IrEngineTest, SatisfyingSetIsAncestorClosed) {
 TEST_F(IrEngineTest, MostSpecificAreDeepest) {
   Result<FtExpr> e = ParseFtExpr("gold");
   ASSERT_TRUE(e.ok());
-  const ContainsResult* r = engine_->Evaluate(*e);
+  const std::shared_ptr<const ContainsResult> r = engine_->Evaluate(*e);
   ASSERT_EQ(r->most_specific().size(), 2u);
   EXPECT_EQ(r->most_specific()[0].node, Ref(0, 2));
   EXPECT_EQ(r->most_specific()[1].node, Ref(1, 2));
@@ -243,7 +243,7 @@ TEST_F(IrEngineTest, MostSpecificAreDeepest) {
 TEST_F(IrEngineTest, ScoresNormalizedAndOrdered) {
   Result<FtExpr> e = ParseFtExpr("gold");
   ASSERT_TRUE(e.ok());
-  const ContainsResult* r = engine_->Evaluate(*e);
+  const std::shared_ptr<const ContainsResult> r = engine_->Evaluate(*e);
   double best = 0;
   for (const ScoredNode& s : r->most_specific()) {
     EXPECT_GE(s.score, 0.0);
@@ -258,7 +258,7 @@ TEST_F(IrEngineTest, ScoresNormalizedAndOrdered) {
 TEST_F(IrEngineTest, AndSemantics) {
   Result<FtExpr> e = ParseFtExpr("gold and silver");
   ASSERT_TRUE(e.ok());
-  const ContainsResult* r = engine_->Evaluate(*e);
+  const std::shared_ptr<const ContainsResult> r = engine_->Evaluate(*e);
   // Only doc0's first sec (and doc0 root) contain both.
   EXPECT_TRUE(r->Satisfies(Ref(0, 1)));
   EXPECT_TRUE(r->Satisfies(Ref(0, 0)));
@@ -269,7 +269,7 @@ TEST_F(IrEngineTest, AndSemantics) {
 TEST_F(IrEngineTest, OrSemantics) {
   Result<FtExpr> e = ParseFtExpr("silver or iron");
   ASSERT_TRUE(e.ok());
-  const ContainsResult* r = engine_->Evaluate(*e);
+  const std::shared_ptr<const ContainsResult> r = engine_->Evaluate(*e);
   EXPECT_TRUE(r->Satisfies(Ref(0, 3)));
   EXPECT_TRUE(r->Satisfies(Ref(0, 5)));
   EXPECT_FALSE(r->Satisfies(Ref(1, 2)));
@@ -278,7 +278,7 @@ TEST_F(IrEngineTest, OrSemantics) {
 TEST_F(IrEngineTest, NotSemantics) {
   Result<FtExpr> e = ParseFtExpr("gold and not silver");
   ASSERT_TRUE(e.ok());
-  const ContainsResult* r = engine_->Evaluate(*e);
+  const std::shared_ptr<const ContainsResult> r = engine_->Evaluate(*e);
   // doc0 root contains silver -> excluded; doc0 para(2) qualifies.
   EXPECT_FALSE(r->Satisfies(Ref(0, 0)));
   EXPECT_TRUE(r->Satisfies(Ref(0, 2)));
@@ -288,7 +288,7 @@ TEST_F(IrEngineTest, NotSemantics) {
 TEST_F(IrEngineTest, PhraseSemantics) {
   Result<FtExpr> e = ParseFtExpr("\"gold ring\"");
   ASSERT_TRUE(e.ok());
-  const ContainsResult* r = engine_->Evaluate(*e);
+  const std::shared_ptr<const ContainsResult> r = engine_->Evaluate(*e);
   EXPECT_TRUE(r->Satisfies(Ref(0, 2)));
   EXPECT_FALSE(r->Satisfies(Ref(0, 3)));  // "silver ring"
   EXPECT_FALSE(r->Satisfies(Ref(1, 2)));  // "gold coin"
@@ -305,7 +305,7 @@ TEST_F(IrEngineTest, PhraseSemantics) {
 TEST_F(IrEngineTest, BestScoreWithin) {
   Result<FtExpr> e = ParseFtExpr("gold");
   ASSERT_TRUE(e.ok());
-  const ContainsResult* r = engine_->Evaluate(*e);
+  const std::shared_ptr<const ContainsResult> r = engine_->Evaluate(*e);
   EXPECT_DOUBLE_EQ(r->BestScoreWithin(Ref(0, 0)), 1.0);
   EXPECT_DOUBLE_EQ(r->BestScoreWithin(Ref(0, 4)), 0.0);
   EXPECT_GT(r->BestScoreWithin(Ref(1, 0)), 0.0);
@@ -315,7 +315,7 @@ TEST_F(IrEngineTest, BestScoreWithin) {
 TEST_F(IrEngineTest, CountWithTag) {
   Result<FtExpr> e = ParseFtExpr("gold");
   ASSERT_TRUE(e.ok());
-  const ContainsResult* r = engine_->Evaluate(*e);
+  const std::shared_ptr<const ContainsResult> r = engine_->Evaluate(*e);
   const TagDict& dict = std::as_const(*corpus_).tags();
   EXPECT_EQ(r->CountWithTag(dict.Lookup("para")), 2u);
   EXPECT_EQ(r->CountWithTag(dict.Lookup("sec")), 2u);
@@ -333,7 +333,7 @@ TEST_F(IrEngineTest, EvaluationIsCached) {
 TEST_F(IrEngineTest, UnknownTermMatchesNothing) {
   Result<FtExpr> e = ParseFtExpr("zeppelin");
   ASSERT_TRUE(e.ok());
-  const ContainsResult* r = engine_->Evaluate(*e);
+  const std::shared_ptr<const ContainsResult> r = engine_->Evaluate(*e);
   EXPECT_TRUE(r->satisfying().empty());
   EXPECT_TRUE(r->most_specific().empty());
   EXPECT_DOUBLE_EQ(r->BestScoreWithin(Ref(0, 0)), 0.0);
