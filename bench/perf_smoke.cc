@@ -7,12 +7,16 @@
 //     the cold run's — the "measurably faster via counters" check, which
 //     holds on a 1-core box where wall-clock comparisons would be noise,
 //   - asserts the answers of cold, warm and cache-off runs are identical,
-//   - writes a BENCH_topk.json artifact with both runs' timings,
-//     counters, and the cold/warm speedup.
+//   - writes a BENCH_topk.json artifact (--out PATH to move it; default
+//     ./BENCH_topk.json) with both runs' timings, counters, resource
+//     usage, and the cold/warm speedup. ci/bench_compare.py diffs that
+//     file against the committed ci/bench_baseline.json and warns — does
+//     not fail — on wall-time regressions.
 // Exit status 0 = healthy; any violated invariant prints a diagnostic
 // and exits 1 so the CI job fails.
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <string>
 
 #include "bench/bench_util.h"
@@ -65,12 +69,32 @@ void AppendRunJson(std::string* out, const char* name, const TopKResult& r,
     *out += field;
     *out += "\":" + std::to_string(value);
   });
+  *out += "},\"usage\":{";
+  first = true;
+  r.usage.ForEach([&](const char* field, double value) {
+    if (!first) *out += ',';
+    first = false;
+    *out += '"';
+    *out += field;
+    *out += "\":" + std::to_string(value);
+  });
   *out += "}}";
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const char* out_path = "BENCH_topk.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else {
+      std::fprintf(stderr, "usage: %s [--out PATH]\n", argv[0]);
+      return 2;
+    }
+  }
   auto& fixture = flexpath::bench_util::GetFixtureMb(1.0);
   const flexpath::Tpq q = fixture.Parse(flexpath::bench_util::kQ3);
   constexpr size_t kK = 50;
@@ -149,12 +173,11 @@ int main() {
   AppendRunJson(&json, "warm", warm, warm_ms);
   json += "}";
 
-  const char* path = "BENCH_topk.json";
-  if (FILE* f = std::fopen(path, "w")) {
+  if (FILE* f = std::fopen(out_path, "w")) {
     std::fprintf(f, "%s\n", json.c_str());
     std::fclose(f);
   } else {
-    std::fprintf(stderr, "FAIL: cannot write %s\n", path);
+    std::fprintf(stderr, "FAIL: cannot write %s\n", out_path);
     ++failures;
   }
   std::printf("%s\n", json.c_str());

@@ -36,6 +36,11 @@
 //   :slowlog                   slow-query log (see --slow-query-ms)
 //   :cache [off|run|shared]    show cache statistics (JSON), or switch
 //                              the sub-plan result-cache tier
+//   :trace [FILE]              Chrome-trace JSON of the last traced query
+//                              (stdout, or written to FILE); load it in
+//                              chrome://tracing or ui.perfetto.dev
+//   :flightrec                 dump the crash-safe flight recorder ring
+//                              as JSON (most recent ~4k runtime events)
 //   :help / :quit
 //
 // Corpus flags:
@@ -53,6 +58,25 @@
 //                              (0 = hardware concurrency, 1 = serial)
 //   --metrics-prom             print a Prometheus text exposition of all
 //                              metrics on exit (stdout)
+//   --trace-out FILE           collect a trace for every query and write
+//                              the last one, in the Chrome Trace Event
+//                              Format, to FILE on exit (falls back to the
+//                              build trace when no query ran)
+//   --flightrec-out FILE       write the flight-recorder JSON dump to
+//                              FILE on exit
+//   --crash-dump FILE          install fatal-signal handlers (SIGSEGV,
+//                              SIGBUS, SIGFPE, SIGILL, SIGABRT) that dump
+//                              the flight-recorder ring to FILE before
+//                              re-raising
+//   --stats-shapes N           per-shape statistics table capacity
+//   --stats-ring N             recent-executions ring capacity
+//   --stats-slowlog N          slow-query log capacity
+//
+// Budget flags (soft, checked between relaxation rounds):
+//   --max-cpu-ms N             per-query thread-CPU budget in ms; a run
+//                              that trips it stops relaxing and returns
+//                              its partial answers, flagged
+//   --max-tuples N             per-query tuple-creation budget
 //
 // Cache flags (DESIGN.md §12):
 //   --cache off|run|shared     sub-plan result-cache tier (default off;
@@ -62,6 +86,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -69,6 +94,7 @@
 #include "common/log.h"
 #include "common/string_util.h"
 #include "core/flexpath.h"
+#include "obs/flight_recorder.h"
 #include "query/logical.h"
 #include "relax/operators.h"
 #include "relax/penalty.h"
@@ -85,7 +111,35 @@ struct CliState {
   double slow_query_ms = -1.0;  ///< Negative: slow-query log disabled.
   size_t threads = 0;           ///< 0: hardware concurrency; 1: serial.
   flexpath::ResultCacheOptions cache;  ///< Sub-plan result cache knobs.
+  double max_cpu_ms = 0.0;      ///< Soft per-query CPU budget (0: off).
+  uint64_t max_tuples = 0;      ///< Soft per-query tuple budget (0: off).
+  std::string trace_out;        ///< --trace-out target (empty: off).
 };
+
+flexpath::TopKOptions MakeOptions(const CliState& state) {
+  flexpath::TopKOptions opts;
+  opts.k = state.k;
+  opts.scheme = state.scheme;
+  opts.slow_query_ms = state.slow_query_ms;
+  opts.num_threads = state.threads;
+  opts.result_cache = state.cache;
+  opts.max_cpu_ms = state.max_cpu_ms;
+  opts.max_tuples = state.max_tuples;
+  // --trace-out wants a Chrome trace of whatever ran last, so every
+  // query collects one.
+  opts.collect_trace = !state.trace_out.empty();
+  return opts;
+}
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << content;
+  return true;
+}
 
 void PrintHelp() {
   std::printf(
@@ -101,30 +155,41 @@ void PrintHelp() {
       "  :stats                   corpus + per-query-shape statistics\n"
       "  :slowlog                 slow-query log\n"
       "  :cache [off|run|shared]  cache statistics / result-cache tier\n"
+      "  :trace [FILE]            Chrome-trace JSON of the last traced query\n"
+      "  :flightrec               dump the flight-recorder ring as JSON\n"
       "  :help, :quit\n");
 }
 
 void RunQuery(CliState& state, const std::string& xpath) {
-  flexpath::TopKOptions opts;
-  opts.k = state.k;
-  opts.scheme = state.scheme;
-  opts.slow_query_ms = state.slow_query_ms;
-  opts.num_threads = state.threads;
-  opts.result_cache = state.cache;
-  flexpath::Result<std::vector<flexpath::QueryAnswer>> answers =
-      state.fp.Query(xpath, opts, state.algo);
-  if (!answers.ok()) {
-    std::printf("error: %s\n", answers.status().ToString().c_str());
+  flexpath::Result<flexpath::Tpq> q = state.fp.Parse(xpath);
+  if (!q.ok()) {
+    std::printf("error: %s\n", q.status().ToString().c_str());
     return;
   }
-  if (answers->empty()) {
+  // QueryTpq (not Query) so budget trips are visible on the result.
+  flexpath::Result<flexpath::TopKResult> result =
+      state.fp.QueryTpq(*q, MakeOptions(state), state.algo);
+  if (!result.ok()) {
+    std::printf("error: %s\n", result.status().ToString().c_str());
+    return;
+  }
+  if (result->budget_exhausted) {
+    std::printf("(budget exhausted after %zu relaxations; "
+                "partial answers)\n",
+                result->relaxations_used);
+  }
+  if (result->answers.empty()) {
     std::printf("(no answers)\n");
     return;
   }
+  const flexpath::Corpus& corpus = state.fp.corpus();
   int rank = 1;
-  for (const flexpath::QueryAnswer& a : *answers) {
-    std::printf("%3d. <%s> ss=%.3f ks=%.3f  %.70s\n", rank++,
-                a.tag.c_str(), a.score.ss, a.score.ks, a.snippet.c_str());
+  for (const flexpath::RankedAnswer& a : result->answers) {
+    const std::string& tag =
+        std::as_const(corpus).tags().Name(corpus.node(a.node).tag);
+    std::string snippet = corpus.doc(a.node.doc).SubtreeText(a.node.node);
+    std::printf("%3d. <%s> ss=%.3f ks=%.3f  %.70s\n", rank++, tag.c_str(),
+                a.score.ss, a.score.ks, snippet.c_str());
   }
 }
 
@@ -164,12 +229,7 @@ int ExplainAnalyze(CliState& state, const std::string& xpath,
     std::printf("error: %s\n", q.status().ToString().c_str());
     return 1;
   }
-  flexpath::TopKOptions opts;
-  opts.k = state.k;
-  opts.scheme = state.scheme;
-  opts.slow_query_ms = state.slow_query_ms;
-  opts.num_threads = state.threads;
-  opts.result_cache = state.cache;
+  flexpath::TopKOptions opts = MakeOptions(state);
   opts.collect_trace = true;
   flexpath::Result<flexpath::TopKResult> result =
       state.fp.QueryTpq(*q, opts, state.algo);
@@ -244,6 +304,18 @@ void Lint(CliState& state, const std::string& xpath) {
   }
 }
 
+// Matches `--flag VALUE` or `--flag=VALUE`; returns the value (advancing
+// *i past a separate-argument value) or null when argv[*i] is a
+// different flag or the value is missing.
+const char* FlagValue(int argc, char** argv, int* i, const char* flag) {
+  const size_t len = std::strlen(flag);
+  const char* arg = argv[*i];
+  if (std::strncmp(arg, flag, len) != 0) return nullptr;
+  if (arg[len] == '=') return arg + len + 1;
+  if (arg[len] == '\0' && *i + 1 < argc) return argv[++*i];
+  return nullptr;
+}
+
 // Parses a result-cache tier name; returns false on anything else.
 bool ParseCacheTier(const std::string& name, flexpath::CacheTier* out) {
   if (name == "off") {
@@ -270,17 +342,18 @@ void PrintStats(CliState& state) {
       state.fp.query_stats()->Shapes();
   if (shapes.empty()) return;
   std::printf("\nquery shapes (%zu):\n", shapes.size());
-  std::printf("%-16s %6s %4s %9s %9s %6s %7s %8s  %s\n", "fingerprint",
-              "execs", "errs", "p50ms", "p99ms", "relax", "dropped",
+  std::printf("%-16s %6s %4s %9s %9s %8s %6s %7s %8s  %s\n", "fingerprint",
+              "execs", "errs", "p50ms", "p99ms", "cpums", "relax", "dropped",
               "penalty", "query");
   for (const flexpath::ShapeStatsSnapshot& s : shapes) {
-    std::printf("%-16s %6llu %4llu %9.3f %9.3f %6.2f %7.2f %8.3f  %.60s\n",
-                flexpath::FingerprintHex(s.fingerprint).c_str(),
-                static_cast<unsigned long long>(s.executions),
-                static_cast<unsigned long long>(s.errors),
-                s.latency_ms.Quantile(0.5), s.latency_ms.Quantile(0.99),
-                s.MeanRelaxations(), s.MeanPredicatesDropped(),
-                s.MeanPenalty(), s.example_query.c_str());
+    std::printf(
+        "%-16s %6llu %4llu %9.3f %9.3f %8.3f %6.2f %7.2f %8.3f  %.60s\n",
+        flexpath::FingerprintHex(s.fingerprint).c_str(),
+        static_cast<unsigned long long>(s.executions),
+        static_cast<unsigned long long>(s.errors),
+        s.latency_ms.Quantile(0.5), s.latency_ms.Quantile(0.99),
+        s.MeanCpuMs(), s.MeanRelaxations(), s.MeanPredicatesDropped(),
+        s.MeanPenalty(), s.example_query.c_str());
   }
 }
 
@@ -403,6 +476,26 @@ int Repl(CliState& state) {
       } else {
         std::printf("%s\n", state.fp.CacheStatsJson().c_str());
       }
+    } else if (cmd == ":trace") {
+      const std::string chrome = state.fp.LastTraceChromeJson();
+      if (chrome.empty()) {
+        std::printf(
+            "(no trace collected; run :analyze <xpath>, or start with "
+            "--trace-out)\n");
+        continue;
+      }
+      std::string file;
+      if (words >> file) {
+        if (WriteFile(file, chrome)) {
+          std::printf("trace written to %s (load in chrome://tracing or "
+                      "ui.perfetto.dev)\n",
+                      file.c_str());
+        }
+      } else {
+        std::printf("%s\n", chrome.c_str());
+      }
+    } else if (cmd == ":flightrec") {
+      std::printf("%s\n", state.fp.FlightRecorderJson().c_str());
     } else {
       std::printf("unknown command %s (:help)\n", cmd.c_str());
     }
@@ -420,6 +513,9 @@ int main(int argc, char** argv) {
   bool explain_json = false;
   const char* check_query = nullptr;
   bool check_json = false;
+  std::string flightrec_out;
+  flexpath::QueryStatsOptions stats_opts;
+  bool stats_opts_set = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--log-json") == 0) {
       flexpath::Logger::Global().SetJsonOutput(true);
@@ -444,6 +540,41 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[i], "--metrics-prom") == 0) {
       metrics_prom = true;
+      continue;
+    }
+    if (const char* v = FlagValue(argc, argv, &i, "--trace-out")) {
+      state.trace_out = v;
+      continue;
+    }
+    if (const char* v = FlagValue(argc, argv, &i, "--flightrec-out")) {
+      flightrec_out = v;
+      continue;
+    }
+    if (const char* v = FlagValue(argc, argv, &i, "--crash-dump")) {
+      flexpath::FlightRecorder::InstallCrashHandler(v);
+      continue;
+    }
+    if (const char* v = FlagValue(argc, argv, &i, "--stats-shapes")) {
+      stats_opts.max_shapes = static_cast<size_t>(std::atol(v));
+      stats_opts_set = true;
+      continue;
+    }
+    if (const char* v = FlagValue(argc, argv, &i, "--stats-ring")) {
+      stats_opts.ring_capacity = static_cast<size_t>(std::atol(v));
+      stats_opts_set = true;
+      continue;
+    }
+    if (const char* v = FlagValue(argc, argv, &i, "--stats-slowlog")) {
+      stats_opts.slowlog_capacity = static_cast<size_t>(std::atol(v));
+      stats_opts_set = true;
+      continue;
+    }
+    if (const char* v = FlagValue(argc, argv, &i, "--max-cpu-ms")) {
+      state.max_cpu_ms = std::atof(v);
+      continue;
+    }
+    if (const char* v = FlagValue(argc, argv, &i, "--max-tuples")) {
+      state.max_tuples = static_cast<uint64_t>(std::atoll(v));
       continue;
     }
     if (std::strcmp(argv[i], "--cache") == 0 && i + 1 < argc) {
@@ -527,11 +658,17 @@ int main(int argc, char** argv) {
                  "[--check-json \"<xpath>\"] [--subtype SUPER SUB] "
                  "[--log-json] [--log-level L] [--slow-query-ms N] "
                  "[--threads N] [--metrics-prom] "
-                 "[--cache off|run|shared] [--cache-mb N] [file.xml ...]\n"
+                 "[--cache off|run|shared] [--cache-mb N] "
+                 "[--trace-out FILE] [--flightrec-out FILE] "
+                 "[--crash-dump FILE] [--stats-shapes N] [--stats-ring N] "
+                 "[--stats-slowlog N] [--max-cpu-ms N] [--max-tuples N] "
+                 "[file.xml ...]\n"
                  "loads documents, then starts an interactive shell;\n"
                  "--explain runs one traced query and exits;\n"
                  "--check runs the static analyzer and exits (1 on error);\n"
-                 "--metrics-prom prints Prometheus metrics on exit\n",
+                 "--metrics-prom prints Prometheus metrics on exit;\n"
+                 "--trace-out writes a Chrome/Perfetto trace of the last "
+                 "query on exit\n",
                  argv[0]);
     return 2;
   }
@@ -539,6 +676,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "build failed: %s\n", st.ToString().c_str());
     return 1;
   }
+  if (stats_opts_set) state.fp.SetQueryStatsOptions(stats_opts);
   int rc = 0;
   if (check_query != nullptr) {
     rc = Check(state, check_query, check_json);
@@ -547,6 +685,24 @@ int main(int argc, char** argv) {
   } else {
     PrintStats(state);
     rc = Repl(state);
+  }
+  if (!state.trace_out.empty()) {
+    std::string chrome = state.fp.LastTraceChromeJson();
+    if (chrome.empty() && state.fp.build_trace() != nullptr) {
+      // No query ran (or none was traced): the build trace still gives
+      // the file a valid, loadable timeline.
+      chrome = flexpath::TraceToChromeJson(*state.fp.build_trace());
+    }
+    if (chrome.empty()) {
+      std::fprintf(stderr, "--trace-out: no trace collected\n");
+    } else if (WriteFile(state.trace_out, chrome)) {
+      std::fprintf(stderr, "trace written to %s\n", state.trace_out.c_str());
+    }
+  }
+  if (!flightrec_out.empty() && WriteFile(flightrec_out,
+                                          state.fp.FlightRecorderJson())) {
+    std::fprintf(stderr, "flight recorder dumped to %s\n",
+                 flightrec_out.c_str());
   }
   if (metrics_prom) {
     std::printf("%s", state.fp.MetricsPrometheus().c_str());

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <utility>
 
+#include "common/resource_usage.h"
+
 namespace flexpath {
 
 namespace {
@@ -107,15 +109,22 @@ void TaskGroup::Run(std::function<void()> fn) {
     return;
   }
   pool_->Submit([this, slot, fn = std::move(fn)] {
+    const ThreadCpuTimer cpu;
     try {
       fn();
     } catch (...) {
       *slot = std::current_exception();
     }
     MutexLock lock(mu_);
+    worker_cpu_ms_ += cpu.ElapsedMs();
     ++finished_;
     done_cv_.NotifyAll();
   });
+}
+
+double TaskGroup::WorkerCpuMs() const {
+  MutexLock lock(mu_);
+  return worker_cpu_ms_;
 }
 
 void TaskGroup::Wait() {

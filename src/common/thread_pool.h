@@ -101,13 +101,22 @@ class TaskGroup {
   /// re-throws the first (by submission order) captured exception.
   void Wait();
 
+  /// Thread-CPU milliseconds the group's tasks burned *on pool workers*
+  /// (measured per task with CLOCK_THREAD_CPUTIME_ID at the task
+  /// boundary). Inline-run tasks contribute nothing — their CPU already
+  /// belongs to the calling thread, which the caller times itself; the
+  /// split lets resource accounting sum caller + worker CPU without
+  /// double counting. Call after Wait().
+  double WorkerCpuMs() const;
+
  private:
   ThreadPool* pool_;
   bool inline_only_;
-  Mutex mu_;
+  mutable Mutex mu_;
   CondVar done_cv_;
   size_t scheduled_ = 0;  ///< Only the driving thread writes/reads.
   size_t finished_ GUARDED_BY(mu_) = 0;
+  double worker_cpu_ms_ GUARDED_BY(mu_) = 0.0;
   /// Captured exceptions in submission order; first non-null wins. A
   /// deque so slots stay at stable addresses while Run() keeps appending
   /// — in-flight tasks hold pointers to their own slot. Deliberately not

@@ -1,5 +1,6 @@
 #include "common/trace.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdio>
 
@@ -49,6 +50,63 @@ void SpanToJson(const TraceSpan& span, std::string* out) {
     SpanToJson(*span.children[i], out);
   }
   *out += "]}";
+}
+
+/// Microseconds for Chrome trace "ts"/"dur" fields. Perfetto truncates
+/// fractional microseconds anyway, so emit integers.
+std::string FormatUs(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld",
+                static_cast<long long>(ms * 1000.0 + 0.5));
+  return buf;
+}
+
+void SpanToChromeEvents(const TraceSpan& span, int pid, int tid,
+                        bool* first, std::string* out,
+                        std::vector<int>* tids_seen) {
+  // A wave-worker round span carries its worker index; the whole subtree
+  // it assembled ran on that worker, so the tid is inherited downward.
+  for (const TraceAnnotation& a : span.annotations) {
+    if (a.is_number && a.key == "worker") {
+      tid = static_cast<int>(a.number) + 2;
+      break;
+    }
+  }
+  if (std::find(tids_seen->begin(), tids_seen->end(), tid) ==
+      tids_seen->end()) {
+    tids_seen->push_back(tid);
+  }
+  if (!*first) *out += ',';
+  *first = false;
+  *out += "{\"ph\":\"X\",\"ts\":";
+  *out += FormatUs(span.start_ms);
+  *out += ",\"dur\":";
+  *out += FormatUs(span.elapsed_ms);
+  *out += ",\"pid\":";
+  *out += std::to_string(pid);
+  *out += ",\"tid\":";
+  *out += std::to_string(tid);
+  *out += ",\"name\":\"";
+  *out += JsonEscape(span.name);
+  *out += "\",\"args\":{";
+  for (size_t i = 0; i < span.annotations.size(); ++i) {
+    const TraceAnnotation& a = span.annotations[i];
+    if (i > 0) *out += ',';
+    *out += '"';
+    *out += JsonEscape(a.key);
+    *out += "\":";
+    if (a.is_number) {
+      *out += FormatNumber(a.number);
+    } else {
+      *out += '"';
+      *out += JsonEscape(a.text);
+      *out += '"';
+    }
+  }
+  *out += "}}";
+  for (const std::unique_ptr<TraceSpan>& child : span.children) {
+    SpanToChromeEvents(*child, pid, tid, first, out, tids_seen);
+  }
 }
 
 void SpanToText(const TraceSpan& span, int depth, std::string* out) {
@@ -180,6 +238,30 @@ std::string TraceToJson(const QueryTrace& trace) {
 std::string TraceToText(const QueryTrace& trace) {
   std::string out;
   SpanToText(trace.root, 0, &out);
+  return out;
+}
+
+std::string TraceToChromeJson(const QueryTrace& trace, int pid) {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  std::vector<int> tids_seen;
+  SpanToChromeEvents(trace.root, pid, /*tid=*/1, &first, &out, &tids_seen);
+  // Label each lane so Perfetto shows "coordinator"/"worker N" instead of
+  // bare tids. Metadata events are timeless; emitting them after the
+  // slice events is valid.
+  std::sort(tids_seen.begin(), tids_seen.end());
+  for (int tid : tids_seen) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"ph\":\"M\",\"ts\":0,\"pid\":";
+    out += std::to_string(pid);
+    out += ",\"tid\":";
+    out += std::to_string(tid);
+    out += ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+    out += tid == 1 ? "coordinator" : "worker " + std::to_string(tid - 2);
+    out += "\"}}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
   return out;
 }
 

@@ -149,6 +149,19 @@ std::string TraceToJson(const QueryTrace& trace);
 ///     dpo_round  4.02ms  [round=1 dropped=gamma($2) penalty=0.125 ...]
 std::string TraceToText(const QueryTrace& trace);
 
+/// Renders the trace in the Chrome Trace Event Format, loadable in
+/// Perfetto (ui.perfetto.dev) and chrome://tracing:
+///   {"traceEvents":[{"ph":"X","ts":0,"dur":12410,"pid":1,"tid":1,
+///                    "name":"query","args":{...}},...],
+///    "displayTimeUnit":"ms"}
+/// Every span becomes one complete ("X") event with ts/dur in
+/// microseconds; annotations become its args (numbers stay numeric).
+/// Spans carrying a numeric "worker" annotation — the wave-worker rounds
+/// — map to tid worker+2 (and pass the tid to their subtree), everything
+/// else to tid 1, so per-worker attribution survives into the timeline;
+/// "M"-phase thread_name metadata labels each lane.
+std::string TraceToChromeJson(const QueryTrace& trace, int pid = 1);
+
 }  // namespace flexpath
 
 #endif  // FLEXPATH_COMMON_TRACE_H_

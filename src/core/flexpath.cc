@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/log.h"
+#include "obs/flight_recorder.h"
 #include "relax/schedule.h"
 
 namespace flexpath {
@@ -133,12 +134,38 @@ Result<std::vector<QueryAnswer>> FlexPath::Query(std::string_view xpath,
 Result<TopKResult> FlexPath::QueryTpq(const Tpq& q, const TopKOptions& opts,
                                       Algorithm algo) {
   if (!built_) return Status::InvalidArgument("call Build() first");
-  if (thesaurus_.size() > 0 && q.ContainsCount() > 0) {
-    Tpq expanded = q;
-    ExpandContains(&expanded);
-    return processor_->Run(expanded, algo, opts);
+  Result<TopKResult> result = [&]() -> Result<TopKResult> {
+    if (thesaurus_.size() > 0 && q.ContainsCount() > 0) {
+      Tpq expanded = q;
+      ExpandContains(&expanded);
+      return processor_->Run(expanded, algo, opts);
+    }
+    return processor_->Run(q, algo, opts);
+  }();
+  if (result.ok() && result->trace != nullptr) {
+    MutexLock lock(trace_mu_);
+    last_query_trace_ = result->trace;
   }
-  return processor_->Run(q, algo, opts);
+  return result;
+}
+
+std::shared_ptr<const QueryTrace> FlexPath::last_query_trace() const {
+  MutexLock lock(trace_mu_);
+  return last_query_trace_;
+}
+
+std::string FlexPath::LastTraceChromeJson() const {
+  std::shared_ptr<const QueryTrace> trace = last_query_trace();
+  if (trace == nullptr) return "";
+  return TraceToChromeJson(*trace);
+}
+
+std::string FlexPath::FlightRecorderJson() const {
+  return FlightRecorder::Global().ToJson();
+}
+
+void FlexPath::SetQueryStatsOptions(const QueryStatsOptions& opts) {
+  query_stats_.SetOptions(opts);
 }
 
 void FlexPath::ExpandContains(Tpq* q) const {

@@ -9,7 +9,9 @@
 #include "analysis/analyzer.h"
 #include "analysis/plan_verifier.h"
 #include "common/metrics.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/trace.h"
 #include "exec/topk.h"
 #include "ir/engine.h"
@@ -175,6 +177,27 @@ class FlexPath {
     return build_trace_;
   }
 
+  /// Trace of the most recent Query/QueryTpq call that collected one
+  /// (TopKOptions::collect_trace, or a slow-query trigger); null until
+  /// then. Under concurrent queries, "last" means last to finish.
+  std::shared_ptr<const QueryTrace> last_query_trace() const;
+
+  /// The last query trace rendered in the Chrome Trace Event Format
+  /// (chrome://tracing, Perfetto; see TraceToChromeJson in
+  /// common/trace.h). Empty string when no trace has been collected.
+  std::string LastTraceChromeJson() const;
+
+  /// JSON dump of the process-wide crash-safe flight recorder ring
+  /// (FlightRecorder::Global().ToJson()): the most recent ~4k runtime
+  /// events — query start/end, relaxation-round lifecycle, shared-cache
+  /// evictions, slow queries and budget trips.
+  std::string FlightRecorderJson() const;
+
+  /// Replaces this instance's query-statistics capacities (shape table,
+  /// recent ring, slow-query log) at runtime, trimming immediately if the
+  /// new capacities are smaller. See QueryStatsStore::SetOptions.
+  void SetQueryStatsOptions(const QueryStatsOptions& opts);
+
  private:
   /// Applies the thesaurus to every contains predicate of `q` in place.
   void ExpandContains(Tpq* q) const;
@@ -190,6 +213,8 @@ class FlexPath {
   std::unique_ptr<TopKProcessor> processor_;
   std::shared_ptr<const QueryTrace> build_trace_;
   QueryStatsStore query_stats_;
+  mutable Mutex trace_mu_;
+  std::shared_ptr<const QueryTrace> last_query_trace_ GUARDED_BY(trace_mu_);
 };
 
 }  // namespace flexpath

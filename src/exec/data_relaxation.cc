@@ -39,9 +39,12 @@ const NodeId* DataRelaxationIndex::EdgesEnd(NodeRef node) const {
   return edges_[node.doc].data() + offsets_[node.doc][node.node + 1];
 }
 
-std::vector<NodeRef> DataRelaxationIndex::Evaluate(const Tpq& q,
-                                                   IrEngine* ir) const {
+std::vector<NodeRef> DataRelaxationIndex::Evaluate(
+    const Tpq& q, IrEngine* ir, ResourceUsage* usage) const {
   if (q.empty()) return {};
+  const ThreadCpuTimer cpu;
+  uint64_t scanned = 0;
+  uint64_t edges_probed = 0;
   // Downward match sets over the shortcut graph (children before
   // parents), then a top-down validity pass — the naive evaluator's
   // scheme, but every pattern edge matches a shortcut edge.
@@ -54,6 +57,7 @@ std::vector<NodeRef> DataRelaxationIndex::Evaluate(const Tpq& q,
     for (DocId d = 0; d < corpus_->size(); ++d) {
       const Document& doc = corpus_->doc(d);
       for (NodeId i = 0; i < doc.size(); ++i) {
+        ++scanned;
         if (n.tag != kInvalidTag && doc.node(i).tag != n.tag) continue;
         const NodeRef ref{d, i};
         bool ok = true;
@@ -78,6 +82,7 @@ std::vector<NodeRef> DataRelaxationIndex::Evaluate(const Tpq& q,
           bool found = false;
           for (const NodeId* edge = EdgesBegin(ref); edge != EdgesEnd(ref);
                ++edge) {
+            ++edges_probed;
             if (std::binary_search(child_set.begin(), child_set.end(),
                                    NodeRef{d, *edge})) {
               found = true;
@@ -120,7 +125,18 @@ std::vector<NodeRef> DataRelaxationIndex::Evaluate(const Tpq& q,
     }
     valid[v] = std::move(set);
   }
-  return valid[q.distinguished()];
+  std::vector<NodeRef>& answers = valid[q.distinguished()];
+  if (usage != nullptr) {
+    uint64_t produced = 0;
+    for (const auto& [v, set] : down) produced += set.size();
+    usage->tuples_scanned += scanned;
+    usage->tuples_produced += produced;
+    usage->bytes_touched += scanned * sizeof(Element) +
+                            edges_probed * sizeof(NodeId) +
+                            produced * sizeof(NodeRef);
+    usage->cpu_ms += cpu.ElapsedMs();
+  }
+  return answers;
 }
 
 }  // namespace flexpath

@@ -83,10 +83,14 @@ void DominancePrune(const std::vector<int>& live_steps,
 /// function of (n, grain, pool size) and concatenation order equals
 /// iteration order, the merged output and counters are byte-identical to
 /// one serial body(0, n) pass at any thread count.
+///
+/// `worker_cpu_ms` accumulates the thread-CPU time chunks burned on pool
+/// workers (nothing when the split stays inline — that CPU is already the
+/// calling thread's and the caller accounts for it).
 template <typename Body>
 void ChunkedExtend(ThreadPool* pool, size_t n, size_t grain,
                    std::vector<Tuple>* out, ExecCounters* ctr,
-                   const Body& body) {
+                   double* worker_cpu_ms, const Body& body) {
   const std::vector<std::pair<size_t, size_t>> ranges =
       ChunkRanges(pool, n, grain);
   if (ranges.empty()) return;
@@ -103,6 +107,7 @@ void ChunkedExtend(ThreadPool* pool, size_t n, size_t grain,
     });
   }
   group.Wait();
+  *worker_cpu_ms += group.WorkerCpuMs();
   for (size_t c = 0; c < ranges.size(); ++c) {
     ctr->Add(ctrs[c]);
     out->reserve(out->size() + outs[c].size());
@@ -111,6 +116,24 @@ void ChunkedExtend(ThreadPool* pool, size_t n, size_t grain,
 }
 
 }  // namespace
+
+ResourceUsage UsageFromCounters(const ExecCounters& c) {
+  ResourceUsage u;
+  u.tuples_scanned = c.candidates_probed;
+  u.tuples_produced = c.tuples_created;
+  // An estimate, not an allocator count: each probe reads one Element
+  // record; each materialized tuple copies its bindings vector (a handful
+  // of NodeRefs) plus the tuple header. 64 bytes is the round figure for
+  // the common 3-5 step plans; the point is comparability across queries,
+  // not byte-exactness.
+  u.bytes_touched =
+      c.candidates_probed * sizeof(Element) + c.tuples_created * 64;
+  u.cache_hits = c.cache_step_hits;
+  u.cache_misses = c.cache_step_misses;
+  u.rounds_executed = c.plan_passes;
+  u.rounds_pruned = c.rounds_pruned_static;
+  return u;
+}
 
 void ExecCounters::Add(const ExecCounters& other) {
   plan_passes += other.plan_passes;
@@ -129,12 +152,13 @@ void ExecCounters::Add(const ExecCounters& other) {
 std::vector<RankedAnswer> PlanEvaluator::Evaluate(
     const JoinPlan& plan, EvalMode mode, size_t k, RankScheme scheme,
     double exact_penalty, ExecCounters* counters, TraceCollector* trace,
-    ThreadPool* pool, const EvalCacheContext* cache) {
+    ThreadPool* pool, const EvalCacheContext* cache, ResourceUsage* usage) {
   // Work is tallied locally, then folded into the caller's counters and
   // the global registry — so per-call deltas are exact even when the
   // caller accumulates across plan passes.
   ExecCounters ctr;
   ++ctr.plan_passes;
+  double worker_cpu_ms = 0.0;
 
   const Corpus& corpus = index_->corpus();
   const std::vector<PlanStep>& steps = plan.steps();
@@ -334,7 +358,8 @@ std::vector<RankedAnswer> PlanEvaluator::Evaluate(
         out->push_back(std::move(t));
       }
     };
-    ChunkedExtend(pool, scan0.size(), /*grain=*/1024, &tuples, &ctr, seed);
+    ChunkedExtend(pool, scan0.size(), /*grain=*/1024, &tuples, &ctr,
+                  &worker_cpu_ms, seed);
     DominancePrune(plan.LiveSteps(0), &tuples);
     store_step(0);
     start_step = 1;
@@ -490,6 +515,7 @@ std::vector<RankedAnswer> PlanEvaluator::Evaluate(
         work.insert(work.end(), members.begin(), members.end());
       }
       ChunkedExtend(pool, work.size(), /*grain=*/64, &out, &ctr,
+                    &worker_cpu_ms,
                     [&](size_t begin, size_t end, std::vector<Tuple>* o,
                         ExecCounters* c) {
                       // Most tuples survive a step (match or null-bind),
@@ -523,6 +549,7 @@ std::vector<RankedAnswer> PlanEvaluator::Evaluate(
         ctr.score_sorted_items += tuples.size();
       }
       ChunkedExtend(pool, tuples.size(), /*grain=*/64, &out, &ctr,
+                    &worker_cpu_ms,
                     [&](size_t begin, size_t end, std::vector<Tuple>* o,
                         ExecCounters* c) {
                       o->reserve(o->size() + (end - begin));
@@ -585,6 +612,11 @@ std::vector<RankedAnswer> PlanEvaluator::Evaluate(
   finalize_span.Close();
 
   if (counters != nullptr) counters->Add(ctr);
+  if (usage != nullptr) {
+    ResourceUsage u = UsageFromCounters(ctr);
+    u.cpu_ms = worker_cpu_ms;
+    usage->Add(u);
+  }
   // Mirror the work into the process-wide registry (pointers cached once;
   // one relaxed add per field per plan pass).
   static MetricsRegistry& reg = MetricsRegistry::Global();

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/resource_usage.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
 #include "exec/plan.h"
@@ -51,6 +52,15 @@ struct ExecCounters {
     fn("tuples_excluded", tuples_excluded);
   }
 };
+
+/// Projects work counters into the ResourceUsage vocabulary (tuples
+/// scanned/produced, cache hits/misses, rounds, and a byte estimate:
+/// sizeof(Element) per scan probe plus a nominal tuple footprint per
+/// materialization). cpu_ms is left at zero — counters carry no time;
+/// callers add the CPU they measured. Deterministic: equal counters give
+/// equal usage, so the differential byte-identity guarantees extend to
+/// every usage field except cpu_ms.
+ResourceUsage UsageFromCounters(const ExecCounters& c);
 
 /// How the evaluator manages intermediate results (Section 5.2):
 ///  - kExact: evaluate the plan's required predicates only; no optional
@@ -104,13 +114,20 @@ class PlanEvaluator {
   /// and relaxation metadata are byte-identical with or without the
   /// cache; only the work counters differ (cache_step_hits/misses,
   /// tuples_excluded, and the work the skipped steps never did).
+  ///
+  /// `usage`, when non-null, receives this pass's resource accounting:
+  /// UsageFromCounters of the pass's counters, plus the thread-CPU time
+  /// its pool fan-outs burned on *worker* threads. The calling thread's
+  /// own CPU is deliberately excluded — the caller times itself, so the
+  /// two add without double counting.
   std::vector<RankedAnswer> Evaluate(const JoinPlan& plan, EvalMode mode,
                                      size_t k, RankScheme scheme,
                                      double exact_penalty,
                                      ExecCounters* counters,
                                      TraceCollector* trace = nullptr,
                                      ThreadPool* pool = nullptr,
-                                     const EvalCacheContext* cache = nullptr);
+                                     const EvalCacheContext* cache = nullptr,
+                                     ResourceUsage* usage = nullptr);
 
  private:
   const ElementIndex* index_;

@@ -2,6 +2,7 @@
 
 #include "common/hash.h"
 #include "common/metrics.h"
+#include "obs/flight_recorder.h"
 
 namespace flexpath {
 
@@ -48,7 +49,24 @@ void ResultCache::Put(uint64_t key,
                       std::shared_ptr<const CachedStepResult> entry) {
   const size_t bytes = entry->bytes;
   MutexLock lock(mu_);
-  if (lru_.Put(key, std::move(entry), bytes)) ++insertions_;
+  const uint64_t evictions_before = lru_.evictions();
+  const size_t bytes_before = lru_.bytes();
+  bool inserted = false;
+  if (lru_.Put(key, std::move(entry), bytes)) {
+    ++insertions_;
+    inserted = true;
+  }
+  const uint64_t evicted = lru_.evictions() - evictions_before;
+  if (evicted > 0) {
+    // Shared-tier evictions are capacity pressure worth seeing in a
+    // post-mortem; run-tier churn is per-query noise.
+    const size_t freed =
+        bytes_before + (inserted ? bytes : 0) - lru_.bytes();
+    if (export_metrics_) {
+      FlightRecorder::Global().Record(FlightEventType::kCacheEvict, evicted,
+                                      freed);
+    }
+  }
   if (export_metrics_) ExportMetrics();
 }
 

@@ -29,7 +29,8 @@ bool Contains(const Corpus& corpus, NodeRef anc, NodeRef desc) {
 /// open at that point; pairs come out in (desc, anc) order either way.
 void JoinRange(const Corpus& corpus, const std::vector<NodeRef>& ancestors,
                const std::vector<NodeRef>& descendants, size_t d_begin,
-               size_t d_end, bool parent_only, std::vector<JoinPair>* out) {
+               size_t d_end, bool parent_only, std::vector<JoinPair>* out,
+               ResourceUsage* usage) {
   // Parent-only joins emit at most one pair per descendant; ad joins
   // commonly emit about one (nesting of the same tag pair is shallow in
   // practice), so a one-per-descendant reservation avoids the early
@@ -65,6 +66,14 @@ void JoinRange(const Corpus& corpus, const std::vector<NodeRef>& ancestors,
       ++d;
     }
   }
+  if (usage != nullptr) {
+    const uint64_t scanned = a + (d_end - d_begin);
+    const uint64_t produced = out->size();
+    usage->tuples_scanned += scanned;
+    usage->tuples_produced += produced;
+    usage->bytes_touched +=
+        scanned * sizeof(Element) + produced * sizeof(JoinPair);
+  }
 }
 
 }  // namespace
@@ -72,31 +81,40 @@ void JoinRange(const Corpus& corpus, const std::vector<NodeRef>& ancestors,
 std::vector<JoinPair> StructuralJoin(const Corpus& corpus,
                                      const std::vector<NodeRef>& ancestors,
                                      const std::vector<NodeRef>& descendants,
-                                     bool parent_only) {
+                                     bool parent_only, ResourceUsage* usage) {
   std::vector<JoinPair> out;
   JoinRange(corpus, ancestors, descendants, 0, descendants.size(),
-            parent_only, &out);
+            parent_only, &out, usage);
   return out;
 }
 
 std::vector<JoinPair> StructuralJoin(const Corpus& corpus,
                                      const std::vector<NodeRef>& ancestors,
                                      const std::vector<NodeRef>& descendants,
-                                     bool parent_only, ThreadPool* pool) {
+                                     bool parent_only, ThreadPool* pool,
+                                     ResourceUsage* usage) {
   const std::vector<std::pair<size_t, size_t>> ranges =
       ChunkRanges(pool, descendants.size(), /*grain=*/2048);
   if (ranges.size() <= 1) {
-    return StructuralJoin(corpus, ancestors, descendants, parent_only);
+    return StructuralJoin(corpus, ancestors, descendants, parent_only, usage);
   }
   std::vector<std::vector<JoinPair>> outs(ranges.size());
+  // Chunk-local accounting, folded after the join — workers never share a
+  // ResourceUsage.
+  std::vector<ResourceUsage> usages(usage != nullptr ? ranges.size() : 0);
   TaskGroup group(pool);
   for (size_t c = 0; c < ranges.size(); ++c) {
     group.Run([&, c] {
       JoinRange(corpus, ancestors, descendants, ranges[c].first,
-                ranges[c].second, parent_only, &outs[c]);
+                ranges[c].second, parent_only, &outs[c],
+                usage != nullptr ? &usages[c] : nullptr);
     });
   }
   group.Wait();
+  if (usage != nullptr) {
+    for (const ResourceUsage& u : usages) usage->Add(u);
+    usage->cpu_ms += group.WorkerCpuMs();
+  }
   size_t total = 0;
   for (const std::vector<JoinPair>& o : outs) total += o.size();
   std::vector<JoinPair> out;

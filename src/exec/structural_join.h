@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/resource_usage.h"
 #include "common/thread_pool.h"
 #include "xml/corpus.h"
 
@@ -23,10 +24,20 @@ struct JoinPair {
 ///
 /// `parent_only` restricts output to parent-child pairs (the pc predicate);
 /// otherwise all ancestor-descendant pairs are produced.
+///
+/// `usage`, when non-null, accumulates what the join consumed: every
+/// input element examined counts as scanned, every emitted pair as
+/// produced, bytes estimated from both. The parallel variant adds the
+/// thread-CPU time its chunks burned on pool workers (the calling
+/// thread's CPU stays the caller's to measure) — and note the parallel
+/// join's scan count exceeds the serial one's, because each chunk replays
+/// the ancestor prefix to rebuild its stack: usage reports work actually
+/// done, not a thread-count-invariant quantity like ExecCounters.
 std::vector<JoinPair> StructuralJoin(const Corpus& corpus,
                                      const std::vector<NodeRef>& ancestors,
                                      const std::vector<NodeRef>& descendants,
-                                     bool parent_only);
+                                     bool parent_only,
+                                     ResourceUsage* usage = nullptr);
 
 /// Parallel variant: splits the descendant list into contiguous chunks,
 /// joins each against the ancestor list on the pool (each chunk rebuilds
@@ -38,7 +49,8 @@ std::vector<JoinPair> StructuralJoin(const Corpus& corpus,
 std::vector<JoinPair> StructuralJoin(const Corpus& corpus,
                                      const std::vector<NodeRef>& ancestors,
                                      const std::vector<NodeRef>& descendants,
-                                     bool parent_only, ThreadPool* pool);
+                                     bool parent_only, ThreadPool* pool,
+                                     ResourceUsage* usage = nullptr);
 
 /// Naive O(|A| * |D|) reference implementation, used by tests and the
 /// ablation benchmark as the baseline the stack join is measured against.

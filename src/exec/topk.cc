@@ -10,6 +10,7 @@
 #include "common/log.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
+#include "obs/flight_recorder.h"
 #include "relax/schedule.h"
 
 namespace flexpath {
@@ -50,6 +51,21 @@ void AnnotateCounters(TraceSpan* span, const ExecCounters& delta) {
   });
 }
 
+/// Attaches a resource-usage breakdown as "usage.<field>" annotations —
+/// what the stage consumed, next to the counters saying what it did.
+void AnnotateUsage(Span* span, const ResourceUsage& usage) {
+  if (!span->active()) return;
+  usage.ForEach([&](const char* name, double value) {
+    span->Annotate(std::string("usage.") + name, value);
+  });
+}
+
+void AnnotateUsage(TraceSpan* span, const ResourceUsage& usage) {
+  usage.ForEach([&](const char* name, double value) {
+    span->Annotate(std::string("usage.") + name, value);
+  });
+}
+
 /// One DPO round evaluated speculatively by a wave worker. Everything a
 /// round produces is buffered here; the merge decides — in round order —
 /// whether to accept it into the result or discard it wholesale
@@ -59,6 +75,15 @@ struct RoundOutput {
   Status status;  ///< Plan-build failure, if any.
   std::vector<RankedAnswer> answers;
   ExecCounters counters;
+  /// The round's full resource bill: counter-derived work plus every
+  /// thread-CPU millisecond it burned — the evaluating thread's own and
+  /// any nested pool fan-out's.
+  ResourceUsage usage;
+  /// The share of usage.cpu_ms spent on threads *other than* the one
+  /// that called eval_round. The caller needs the split to avoid double
+  /// counting: an inline round's own CPU is already inside the
+  /// coordinator's timer, a wave-worker round's is not.
+  double off_thread_cpu_ms = 0.0;
   TraceSpan span;         ///< The round's finished span subtree.
   bool has_span = false;  ///< Set on the worker-collector path only.
   bool pruned = false;    ///< Skipped: static analysis proved it empty.
@@ -101,6 +126,12 @@ Result<TopKResult> TopKProcessor::Run(const Tpq& q, Algorithm algo,
   }
 
   const auto start = std::chrono::steady_clock::now();
+  // Coordinator CPU; pool-worker CPU is measured at task boundaries and
+  // folded in below, so the sum never double-counts a thread.
+  const ThreadCpuTimer query_cpu;
+  const uint64_t fingerprint = FingerprintTpq(q, index_->corpus().tags());
+  FlightRecorder::Global().Record(FlightEventType::kQueryStart, fingerprint,
+                                  opts.k);
   std::optional<TraceCollector> collector;
   // A slow-query threshold forces collection so the slow log can carry
   // the span tree of the offending run.
@@ -138,6 +169,8 @@ Result<TopKResult> TopKProcessor::Run(const Tpq& q, Algorithm algo,
   static Counter* m_queries = reg.counter("query.count");
   static Counter* m_errors = reg.counter("query.errors");
   static Counter* m_pruned = reg.counter("query.rounds_pruned_static");
+  static Counter* m_budget = reg.counter("query.budget_exhausted");
+  static Histogram* m_cpu = reg.histogram("query.cpu_ms");
   static Histogram* m_latency[3] = {
       reg.histogram("query.latency_ms.dpo"),
       reg.histogram("query.latency_ms.sso"),
@@ -151,9 +184,20 @@ Result<TopKResult> TopKProcessor::Run(const Tpq& q, Algorithm algo,
   if (!result.ok()) {
     m_errors->Inc();
   } else {
+    // The algorithm left only the off-coordinator CPU in usage.cpu_ms;
+    // every other field is recomputed from the merged counters so the
+    // deterministic figures come from exactly the work the result kept.
+    const double worker_cpu_ms = result->usage.cpu_ms;
+    result->usage = UsageFromCounters(result->counters);
+    result->usage.cpu_ms = worker_cpu_ms + query_cpu.ElapsedMs();
     m_latency[static_cast<size_t>(algo)]->Observe(elapsed_ms);
+    m_cpu->Observe(result->usage.cpu_ms);
     if (result->rounds_pruned > 0) m_pruned->Inc(result->rounds_pruned);
+    if (result->budget_exhausted) m_budget->Inc();
   }
+  FlightRecorder::Global().Record(
+      FlightEventType::kQueryEnd, fingerprint,
+      result.ok() ? result->answers.size() : 0, elapsed_ms);
 
   std::shared_ptr<const QueryTrace> finished;
   if (trace != nullptr) {
@@ -163,6 +207,10 @@ Result<TopKResult> TopKProcessor::Run(const Tpq& q, Algorithm algo,
                      static_cast<uint64_t>(result->relaxations_used));
       root->Annotate("answers",
                      static_cast<uint64_t>(result->answers.size()));
+      AnnotateUsage(root, result->usage);
+      if (result->budget_exhausted) {
+        root->Annotate("budget_exhausted", uint64_t{1});
+      }
     }
     finished = std::make_shared<const QueryTrace>(collector->Finish());
     if (result.ok() && opts.collect_trace) result->trace = finished;
@@ -175,7 +223,7 @@ Result<TopKResult> TopKProcessor::Run(const Tpq& q, Algorithm algo,
   if (query_stats_ != nullptr || slow || log_debug) {
     const TagDict& dict = index_->corpus().tags();
     QueryExecution exec;
-    exec.fingerprint = FingerprintTpq(q, dict);
+    exec.fingerprint = fingerprint;
     exec.query = q.ToString(dict);
     exec.algorithm = AlgorithmName(algo);
     exec.scheme = RankSchemeName(opts.scheme);
@@ -186,6 +234,8 @@ Result<TopKResult> TopKProcessor::Run(const Tpq& q, Algorithm algo,
       exec.predicates_dropped = result->predicates_dropped;
       exec.penalty = result->penalty_applied;
       exec.answers = result->answers.size();
+      exec.usage = result->usage;
+      exec.budget_exhausted = result->budget_exhausted;
     } else {
       exec.error = true;
     }
@@ -194,6 +244,8 @@ Result<TopKResult> TopKProcessor::Run(const Tpq& q, Algorithm algo,
       if (slow) query_stats_->RecordSlow(exec, opts.slow_query_ms, finished);
     }
     if (slow) {
+      FlightRecorder::Global().Record(FlightEventType::kSlowQuery,
+                                      fingerprint, exec.answers, elapsed_ms);
       FLEXPATH_LOG_WARN(
           "exec", "slow query",
           {"fingerprint", FingerprintHex(exec.fingerprint)},
@@ -219,6 +271,28 @@ Result<TopKResult> TopKProcessor::RunDpo(const Tpq& q,
                                          TraceCollector* trace,
                                          ThreadPool* pool) {
   TopKResult result;
+  // CPU accounting for the soft budget: this thread's time plus whatever
+  // landed on pool workers so far. The budgeted path reads the clock
+  // between rounds only; with no budget set, nothing below branches on
+  // these, keeping the run byte-identical to a budget-free build.
+  const ThreadCpuTimer algo_cpu;
+  double off_thread_cpu_ms = 0.0;
+  const bool budgeted = opts.max_cpu_ms > 0.0 || opts.max_tuples > 0;
+  auto budget_spent = [&]() -> bool {
+    if (opts.max_tuples > 0 &&
+        result.counters.tuples_created >= opts.max_tuples) {
+      return true;
+    }
+    return opts.max_cpu_ms > 0.0 &&
+           algo_cpu.ElapsedMs() + off_thread_cpu_ms >= opts.max_cpu_ms;
+  };
+  auto trip_budget = [&] {
+    result.budget_exhausted = true;
+    FlightRecorder::Global().Record(
+        FlightEventType::kBudgetTrip, result.counters.tuples_created,
+        opts.max_tuples, algo_cpu.ElapsedMs() + off_thread_cpu_ms);
+  };
+
   Span schedule_span(trace, "build_schedule");
   const std::vector<ScheduleEntry> schedule = BuildSchedule(q, pm);
   schedule_span.Annotate("entries", static_cast<uint64_t>(schedule.size()));
@@ -301,6 +375,10 @@ Result<TopKResult> TopKProcessor::RunDpo(const Tpq& q,
   // from the unpruned run only in work counters.
   auto eval_round = [&](size_t round, TraceCollector* rc, ThreadPool* evpool,
                         RoundOutput* out) {
+    // Everything this round costs, starting now: the evaluating thread's
+    // CPU comes from this timer; nested pool fan-outs report theirs
+    // through the usage out-param below.
+    const ThreadCpuTimer round_cpu;
     const Tpq& relaxed = round == 0 ? q : schedule[round - 1].relaxed;
     if (opts.static_prune) {
       if (std::optional<std::string> reason =
@@ -308,19 +386,31 @@ Result<TopKResult> TopKProcessor::RunDpo(const Tpq& q,
         out->pruned = true;
         out->prune_reason = *std::move(reason);
         out->counters.rounds_pruned_static = 1;
+        FlightRecorder::Global().Record(FlightEventType::kRoundSkip, round,
+                                        0, round_penalty(round));
+        out->usage = UsageFromCounters(out->counters);
+        out->usage.cpu_ms = round_cpu.ElapsedMs();
         return;
       }
     }
+    FlightRecorder::Global().Record(FlightEventType::kRoundStart, round, 0,
+                                    round_penalty(round));
     Span build_span(rc, "plan_build");
     Result<JoinPlan> plan = JoinPlan::Build(q, relaxed, {}, pm, opts.weights);
     build_span.Close();
     if (!plan.ok()) {
       out->status = plan.status();
+      out->usage.cpu_ms = round_cpu.ElapsedMs();
       return;
     }
     out->answers = evaluator_.Evaluate(*plan, EvalMode::kExact, opts.k,
                                        opts.scheme, round_penalty(round),
-                                       &out->counters, rc, evpool, cache);
+                                       &out->counters, rc, evpool, cache,
+                                       &out->usage);
+    // Evaluate's usage.cpu_ms holds only its pool-worker time; adding the
+    // timer completes the round's bill while the split stays recoverable.
+    out->off_thread_cpu_ms = out->usage.cpu_ms;
+    out->usage.cpu_ms += round_cpu.ElapsedMs();
   };
 
   // Merges one evaluated round into the result, replaying the serial
@@ -396,7 +486,13 @@ Result<TopKResult> TopKProcessor::RunDpo(const Tpq& q,
       if (!out.status.ok()) return out.status;
       if (out.pruned) round_span.Annotate("static_pruned", out.prune_reason);
       AnnotateCounters(&round_span, out.counters);
+      AnnotateUsage(&round_span, out.usage);
+      off_thread_cpu_ms += out.off_thread_cpu_ms;
       done = merge_round(round, std::move(out), &round_span);
+      if (!done && budgeted && budget_spent()) {
+        trip_budget();
+        done = true;
+      }
       ++next_round;
     } else {
       // Spawn the wave. Each worker assembles its round's span subtree in
@@ -424,6 +520,7 @@ Result<TopKResult> TopKProcessor::RunDpo(const Tpq& q,
               wc->current()->Annotate("static_pruned", out->prune_reason);
             }
             AnnotateCounters(wc->current(), out->counters);
+            AnnotateUsage(wc->current(), out->usage);
             QueryTrace t = wc->Finish();
             t.root.ShiftBy(offset);
             out->span = std::move(t.root);
@@ -432,6 +529,12 @@ Result<TopKResult> TopKProcessor::RunDpo(const Tpq& q,
         });
       }
       group.Wait();
+      // Every wave round ran off the coordinating thread, so its whole
+      // bill — merged or discarded — is off-thread CPU the query burned.
+      for (size_t i = 0; i < wave_n; ++i) {
+        off_thread_cpu_ms += outs[i].usage.cpu_ms;
+      }
+      size_t merged = 0;
       for (size_t i = 0; i < wave_n && !done; ++i) {
         const size_t round = next_round + i;
         if (opts.scheme == RankScheme::kCombined &&
@@ -441,6 +544,19 @@ Result<TopKResult> TopKProcessor::RunDpo(const Tpq& q,
         }
         if (!outs[i].status.ok()) return outs[i].status;
         done = merge_round(round, std::move(outs[i]), nullptr);
+        merged = i + 1;
+        if (!done && budgeted && budget_spent()) {
+          trip_budget();
+          done = true;
+        }
+      }
+      // Speculation past the stopping point: the rounds ran, their CPU is
+      // billed above, but nothing of theirs enters the result.
+      if (done) {
+        for (size_t i = merged; i < wave_n; ++i) {
+          FlightRecorder::Global().Record(FlightEventType::kRoundDiscard,
+                                          next_round + i);
+        }
       }
       next_round += wave_n;
     }
@@ -449,6 +565,10 @@ Result<TopKResult> TopKProcessor::RunDpo(const Tpq& q,
 
   SortByScheme(&result.answers, opts.scheme);
   if (result.answers.size() > opts.k) result.answers.resize(opts.k);
+  // Hand Run() only the off-coordinator CPU; it recomputes the
+  // deterministic usage fields from the merged counters and adds its own
+  // coordinator timer on top.
+  result.usage.cpu_ms = off_thread_cpu_ms;
   return result;
 }
 
@@ -459,6 +579,20 @@ Result<TopKResult> TopKProcessor::RunEncoded(const Tpq& q,
                                              TraceCollector* trace,
                                              ThreadPool* pool) {
   TopKResult result;
+  // Budget accounting mirrors RunDpo's: the check sits between encoded
+  // passes (never inside one), and a budget-free run takes no new
+  // branches.
+  const ThreadCpuTimer algo_cpu;
+  double off_thread_cpu_ms = 0.0;
+  const bool budgeted = opts.max_cpu_ms > 0.0 || opts.max_tuples > 0;
+  auto budget_spent = [&]() -> bool {
+    if (opts.max_tuples > 0 &&
+        result.counters.tuples_created >= opts.max_tuples) {
+      return true;
+    }
+    return opts.max_cpu_ms > 0.0 &&
+           algo_cpu.ElapsedMs() + off_thread_cpu_ms >= opts.max_cpu_ms;
+  };
   Span schedule_span(trace, "build_schedule");
   const std::vector<ScheduleEntry> schedule = BuildSchedule(q, pm);
   schedule_span.Annotate("entries", static_cast<uint64_t>(schedule.size()));
@@ -559,14 +693,20 @@ Result<TopKResult> TopKProcessor::RunEncoded(const Tpq& q,
     if (!plan.ok()) return plan.status();
     const uint64_t pruned_before = result.counters.tuples_pruned;
     ExecCounters pass_counters;
+    const ThreadCpuTimer pass_cpu;
+    ResourceUsage pass_usage;
+    FlightRecorder::Global().Record(FlightEventType::kRoundStart, encoded);
     // SSO/Hybrid encode the whole relaxation batch into this one plan, so
     // the pass itself is the parallel unit: the evaluator fans each join
     // step out over tuple chunks on the pool.
     result.answers = evaluator_.Evaluate(*plan, mode, prune ? opts.k : 0,
                                          opts.scheme, 0.0, &pass_counters,
-                                         trace, pool, cache);
+                                         trace, pool, cache, &pass_usage);
     result.counters.Add(pass_counters);
+    off_thread_cpu_ms += pass_usage.cpu_ms;  // Worker CPU only, see Evaluate.
+    pass_usage.cpu_ms += pass_cpu.ElapsedMs();
     AnnotateCounters(&pass_span, pass_counters);
+    AnnotateUsage(&pass_span, pass_usage);
     pass_span.Annotate("answers",
                        static_cast<uint64_t>(result.answers.size()));
     result.relaxations_used = encoded;
@@ -575,6 +715,13 @@ Result<TopKResult> TopKProcessor::RunEncoded(const Tpq& q,
       result.predicates_dropped = schedule[encoded - 1].dropped.size();
     }
     if (result.answers.size() >= opts.k) break;
+    if (budgeted && budget_spent()) {
+      result.budget_exhausted = true;
+      FlightRecorder::Global().Record(
+          FlightEventType::kBudgetTrip, result.counters.tuples_created,
+          opts.max_tuples, algo_cpu.ElapsedMs() + off_thread_cpu_ms);
+      break;
+    }
     // Fewer than K answers (SSO line 11). Two possible causes: the
     // threshold pruned tuples whose higher-bound competitors later died
     // (the threshold is optimistic, as in the paper) — retry the same
@@ -591,6 +738,9 @@ Result<TopKResult> TopKProcessor::RunEncoded(const Tpq& q,
   }
 
   if (result.answers.size() > opts.k) result.answers.resize(opts.k);
+  // As in RunDpo: only the off-coordinator CPU travels back; Run()
+  // finalizes the rest from the counters.
+  result.usage.cpu_ms = off_thread_cpu_ms;
   return result;
 }
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/mutex.h"
+#include "common/resource_usage.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "common/thread_pool.h"
@@ -102,6 +103,19 @@ struct TopKOptions {
   /// relaxation metadata are byte-identical at every tier; work counters
   /// reflect the work actually done, so cache hits make them drop.
   ResultCacheOptions result_cache = {};
+  /// Soft per-query CPU budget in thread-CPU milliseconds (coordinator +
+  /// pool workers), <= 0 to disable (the default). Checked between DPO
+  /// rounds / encoded passes — never inside one — so a run that trips it
+  /// stops relaxing and returns what it has, flagged budget_exhausted.
+  /// The budget is advisory ("soft"): one round always runs to
+  /// completion, so the overshoot is bounded by a single round's cost.
+  /// With both budgets disabled the execution path is unchanged —
+  /// answers, counters and traces stay byte-identical to a build without
+  /// budgets (the differential harness checks this).
+  double max_cpu_ms = 0.0;
+  /// Soft per-query tuple budget (ExecCounters::tuples_created), 0 to
+  /// disable (the default). Same between-rounds semantics as max_cpu_ms.
+  uint64_t max_tuples = 0;
 };
 
 struct TopKResult {
@@ -117,6 +131,16 @@ struct TopKResult {
   /// empty (TopKOptions::static_prune). Also exported as the
   /// rounds_pruned_static execution counter.
   size_t rounds_pruned = 0;
+  /// What the query consumed: thread-CPU ms across the coordinating
+  /// thread and every pool worker that served the run, plus the
+  /// counter-derived work figures (see UsageFromCounters). All fields
+  /// except cpu_ms are deterministic functions of the counters, so the
+  /// byte-identity guarantees cover them; cpu_ms is wall-truth and
+  /// varies run to run.
+  ResourceUsage usage;
+  /// True when a soft budget (max_cpu_ms / max_tuples) stopped the run
+  /// early; `answers` then holds the partial result accumulated so far.
+  bool budget_exhausted = false;
   /// Execution trace; null unless TopKOptions::collect_trace was set.
   std::shared_ptr<const QueryTrace> trace;
 };

@@ -64,6 +64,20 @@ void AppendHistogramJson(std::string* out, const HistogramSnapshot& h) {
   *out += '}';
 }
 
+void AppendUsageJson(std::string* out, const ResourceUsage& u) {
+  *out += '{';
+  bool first = true;
+  u.ForEach([&](const char* name, double value) {
+    if (!first) *out += ',';
+    first = false;
+    *out += '"';
+    *out += name;
+    *out += "\":";
+    *out += FormatDouble(value);
+  });
+  *out += '}';
+}
+
 void AppendExecutionJson(std::string* out, const QueryExecution& e) {
   *out += "{\"fingerprint\":\"" + FingerprintHex(e.fingerprint);
   *out += "\",\"query\":\"" + JsonEscape(e.query);
@@ -77,7 +91,24 @@ void AppendExecutionJson(std::string* out, const QueryExecution& e) {
   *out += ",\"answers\":" + std::to_string(e.answers);
   *out += ",\"error\":";
   *out += e.error ? "true" : "false";
+  *out += ",\"budget_exhausted\":";
+  *out += e.budget_exhausted ? "true" : "false";
+  *out += ",\"usage\":";
+  AppendUsageJson(out, e.usage);
   *out += '}';
+}
+
+/// Mirrors eviction deltas into the global registry as they happen.
+/// Unlike ResultCache (a singleton), many stores may coexist, so the
+/// metrics aggregate across all of them; Counter::Inc is thread-safe.
+void ExportEvictionDeltas(uint64_t shapes, uint64_t ring, uint64_t slowlog) {
+  static MetricsRegistry& reg = MetricsRegistry::Global();
+  static Counter* m_shapes = reg.counter("query_stats.shape_evictions");
+  static Counter* m_ring = reg.counter("query_stats.ring_evictions");
+  static Counter* m_slowlog = reg.counter("query_stats.slowlog_evictions");
+  if (shapes > 0) m_shapes->Inc(shapes);
+  if (ring > 0) m_ring->Inc(ring);
+  if (slowlog > 0) m_slowlog->Inc(slowlog);
 }
 
 }  // namespace
@@ -112,28 +143,81 @@ void QueryStatsStore::Record(const QueryExecution& e) {
   s.total_predicates_dropped += e.predicates_dropped;
   s.total_penalty += e.penalty;
   s.total_answers += e.answers;
+  s.total_cpu_ms += e.usage.cpu_ms;
+  s.total_tuples_produced += e.usage.tuples_produced;
+  s.total_bytes_touched += e.usage.bytes_touched;
+  if (e.budget_exhausted) ++s.budget_exhausted;
   s.last_touched = seq_;
   EvictShapesLocked();
 
   ring_.push_back(e);
-  while (ring_.size() > opts_.ring_capacity) ring_.pop_front();
+  uint64_t dropped = 0;
+  while (ring_.size() > opts_.ring_capacity) {
+    ring_.pop_front();
+    ++dropped;
+  }
+  evictions_.ring += dropped;
+  ExportEvictionDeltas(0, dropped, 0);
 }
 
 void QueryStatsStore::RecordSlow(const QueryExecution& e, double threshold_ms,
                                  std::shared_ptr<const QueryTrace> trace) {
   MutexLock lock(mu_);
   slowlog_.push_back(SlowQueryEntry{e, threshold_ms, std::move(trace)});
-  while (slowlog_.size() > opts_.slowlog_capacity) slowlog_.pop_front();
+  uint64_t dropped = 0;
+  while (slowlog_.size() > opts_.slowlog_capacity) {
+    slowlog_.pop_front();
+    ++dropped;
+  }
+  evictions_.slowlog += dropped;
+  ExportEvictionDeltas(0, 0, dropped);
+}
+
+void QueryStatsStore::SetOptions(const QueryStatsOptions& opts) {
+  MutexLock lock(mu_);
+  opts_ = opts;
+  EvictShapesLocked();
+  TrimRingsLocked();
+}
+
+QueryStatsOptions QueryStatsStore::options() const {
+  MutexLock lock(mu_);
+  return opts_;
+}
+
+QueryStatsEvictions QueryStatsStore::Evictions() const {
+  MutexLock lock(mu_);
+  return evictions_;
 }
 
 void QueryStatsStore::EvictShapesLocked() {
+  uint64_t dropped = 0;
   while (shapes_.size() > opts_.max_shapes) {
     auto victim = shapes_.begin();
     for (auto it = shapes_.begin(); it != shapes_.end(); ++it) {
       if (it->second.last_touched < victim->second.last_touched) victim = it;
     }
     shapes_.erase(victim);
+    ++dropped;
   }
+  evictions_.shapes += dropped;
+  ExportEvictionDeltas(dropped, 0, 0);
+}
+
+void QueryStatsStore::TrimRingsLocked() {
+  uint64_t ring_dropped = 0;
+  while (ring_.size() > opts_.ring_capacity) {
+    ring_.pop_front();
+    ++ring_dropped;
+  }
+  uint64_t slow_dropped = 0;
+  while (slowlog_.size() > opts_.slowlog_capacity) {
+    slowlog_.pop_front();
+    ++slow_dropped;
+  }
+  evictions_.ring += ring_dropped;
+  evictions_.slowlog += slow_dropped;
+  ExportEvictionDeltas(0, ring_dropped, slow_dropped);
 }
 
 std::vector<ShapeStatsSnapshot> QueryStatsStore::Shapes() const {
@@ -151,6 +235,10 @@ std::vector<ShapeStatsSnapshot> QueryStatsStore::Shapes() const {
     snap.total_predicates_dropped = s.total_predicates_dropped;
     snap.total_penalty = s.total_penalty;
     snap.total_answers = s.total_answers;
+    snap.total_cpu_ms = s.total_cpu_ms;
+    snap.total_tuples_produced = s.total_tuples_produced;
+    snap.total_bytes_touched = s.total_bytes_touched;
+    snap.budget_exhausted = s.budget_exhausted;
     out.push_back(std::move(snap));
   }
   std::sort(out.begin(), out.end(),
@@ -184,6 +272,7 @@ void QueryStatsStore::Reset() {
   ring_.clear();
   slowlog_.clear();
   seq_ = 0;
+  evictions_ = {};
 }
 
 std::string QueryStatsStore::ToJson() const {
@@ -207,9 +296,17 @@ std::string QueryStatsStore::ToJson() const {
            FormatDouble(s.MeanPredicatesDropped());
     out += ",\"penalty_mean\":" + FormatDouble(s.MeanPenalty());
     out += ",\"answers_mean\":" + FormatDouble(s.MeanAnswers());
+    out += ",\"cpu_ms_mean\":" + FormatDouble(s.MeanCpuMs());
+    out += ",\"tuples_produced_mean\":" + FormatDouble(s.MeanTuplesProduced());
+    out += ",\"bytes_touched_mean\":" + FormatDouble(s.MeanBytesTouched());
+    out += ",\"budget_exhausted\":" + std::to_string(s.budget_exhausted);
     out += '}';
   }
-  out += "],\"recent\":[";
+  const QueryStatsEvictions ev = Evictions();
+  out += "],\"evictions\":{\"shapes\":" + std::to_string(ev.shapes);
+  out += ",\"ring\":" + std::to_string(ev.ring);
+  out += ",\"slowlog\":" + std::to_string(ev.slowlog);
+  out += "},\"recent\":[";
   first = true;
   for (const QueryExecution& e : recent) {
     if (!first) out += ',';

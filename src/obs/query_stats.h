@@ -10,6 +10,7 @@
 
 #include "common/metrics.h"
 #include "common/mutex.h"
+#include "common/resource_usage.h"
 #include "common/thread_annotations.h"
 #include "common/trace.h"
 #include "query/tpq.h"
@@ -47,6 +48,12 @@ struct QueryExecution {
   double penalty = 0.0;            ///< Cumulative structural penalty applied.
   size_t answers = 0;
   bool error = false;
+  /// What the run consumed (TopKResult::usage): thread-CPU ms across the
+  /// coordinator and pool workers, plus the counter-derived work figures.
+  ResourceUsage usage;
+  /// True when a soft budget (TopKOptions::max_cpu_ms / max_tuples)
+  /// stopped the run early.
+  bool budget_exhausted = false;
 };
 
 /// Aggregated statistics for one query shape (a Snapshot copy).
@@ -60,7 +67,27 @@ struct ShapeStatsSnapshot {
   uint64_t total_predicates_dropped = 0;
   double total_penalty = 0.0;
   uint64_t total_answers = 0;
+  double total_cpu_ms = 0.0;
+  uint64_t total_tuples_produced = 0;
+  uint64_t total_bytes_touched = 0;
+  uint64_t budget_exhausted = 0;  ///< Executions that tripped a budget.
 
+  double MeanCpuMs() const {
+    return executions == 0 ? 0.0
+                           : total_cpu_ms / static_cast<double>(executions);
+  }
+  double MeanTuplesProduced() const {
+    return executions == 0
+               ? 0.0
+               : static_cast<double>(total_tuples_produced) /
+                     static_cast<double>(executions);
+  }
+  double MeanBytesTouched() const {
+    return executions == 0
+               ? 0.0
+               : static_cast<double>(total_bytes_touched) /
+                     static_cast<double>(executions);
+  }
   double MeanRelaxations() const {
     return executions == 0
                ? 0.0
@@ -98,6 +125,15 @@ struct QueryStatsOptions {
   size_t slowlog_capacity = 64;  ///< Slow-query log ring buffer.
 };
 
+/// How many entries each bounded structure has dropped since construction
+/// (or the last Reset). Monotone; also mirrored as query_stats.*
+/// eviction counters in the global metrics registry.
+struct QueryStatsEvictions {
+  uint64_t shapes = 0;   ///< LRU shape evictions past max_shapes.
+  uint64_t ring = 0;     ///< Recent-ring entries displaced.
+  uint64_t slowlog = 0;  ///< Slow-log entries displaced.
+};
+
 /// Cumulative, fingerprint-keyed query statistics: per-shape execution
 /// counts and latency histograms, a bounded ring buffer of recent
 /// executions, and a slow-query log. All methods are thread-safe; the
@@ -117,6 +153,15 @@ class QueryStatsStore {
   /// they can attach the trace only when one exists).
   void RecordSlow(const QueryExecution& e, double threshold_ms,
                   std::shared_ptr<const QueryTrace> trace);
+
+  /// Replaces the capacity options at runtime, trimming each structure
+  /// (oldest-first; least-recently-touched shapes first) if the new
+  /// capacities are smaller. Trims count as evictions.
+  void SetOptions(const QueryStatsOptions& opts);
+  QueryStatsOptions options() const;
+
+  /// Cumulative eviction counts (shapes / recent ring / slow log).
+  QueryStatsEvictions Evictions() const;
 
   /// Per-shape aggregates, most-executed first.
   std::vector<ShapeStatsSnapshot> Shapes() const;
@@ -148,17 +193,23 @@ class QueryStatsStore {
     uint64_t total_predicates_dropped = 0;
     double total_penalty = 0.0;
     uint64_t total_answers = 0;
+    double total_cpu_ms = 0.0;
+    uint64_t total_tuples_produced = 0;
+    uint64_t total_bytes_touched = 0;
+    uint64_t budget_exhausted = 0;
     uint64_t last_touched = 0;  ///< Record() sequence, for LRU eviction.
   };
 
   void EvictShapesLocked() REQUIRES(mu_);
+  void TrimRingsLocked() REQUIRES(mu_);
 
-  const QueryStatsOptions opts_;
   mutable Mutex mu_;
+  QueryStatsOptions opts_ GUARDED_BY(mu_);
   std::unordered_map<uint64_t, ShapeStats> shapes_ GUARDED_BY(mu_);
   std::deque<QueryExecution> ring_ GUARDED_BY(mu_);
   std::deque<SlowQueryEntry> slowlog_ GUARDED_BY(mu_);
   uint64_t seq_ GUARDED_BY(mu_) = 0;
+  QueryStatsEvictions evictions_ GUARDED_BY(mu_);
 };
 
 }  // namespace flexpath

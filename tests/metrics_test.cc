@@ -2,6 +2,7 @@
 
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -363,6 +364,68 @@ TEST(MetricsPrometheusTest, FormatRoundTrips) {
     ++samples;
   }
   EXPECT_EQ(samples, 1 + 1 + (3 + 2));  // counter + gauge + histogram.
+}
+
+TEST(MetricsPrometheusTest, BucketSeriesRoundTripAgainstSnapshot) {
+  // Parse every _bucket{le=...} series back out of the exposition text
+  // and check it against the snapshot it was rendered from: one sample
+  // per edge plus +Inf, values non-decreasing in le-order, and the +Inf
+  // sample exactly equal to _count. Empty buckets in the middle and an
+  // all-overflow histogram are the cases where a non-cumulative or
+  // off-by-one exporter would diverge.
+  MetricsRegistry reg;
+  Histogram* sparse = reg.histogram("q.sparse_ms", {1.0, 5.0, 25.0, 125.0});
+  sparse->Observe(0.5);    // le=1.
+  sparse->Observe(100.0);  // le=125: buckets 5 and 25 stay empty.
+  sparse->Observe(9000.0); // overflow only.
+  Histogram* overflow = reg.histogram("q.over_ms", {1.0});
+  overflow->Observe(50.0);
+  overflow->Observe(60.0);
+
+  const MetricsSnapshot snap = reg.Snapshot();
+  const std::string prom = MetricsToPrometheus(snap);
+
+  for (const auto& [name, h] : snap.histograms) {
+    std::string prom_name = "flexpath_";
+    for (char c : name) prom_name += c == '.' ? '_' : c;
+
+    std::vector<std::pair<std::string, uint64_t>> buckets;
+    size_t pos = 0;
+    const std::string needle = prom_name + "_bucket{le=\"";
+    while ((pos = prom.find(needle, pos)) != std::string::npos) {
+      const size_t le_start = pos + needle.size();
+      const size_t le_end = prom.find('"', le_start);
+      ASSERT_NE(le_end, std::string::npos);
+      const size_t val_start = prom.find(' ', le_end) + 1;
+      const size_t val_end = prom.find('\n', val_start);
+      buckets.emplace_back(
+          prom.substr(le_start, le_end - le_start),
+          std::stoull(prom.substr(val_start, val_end - val_start)));
+      pos = val_end;
+    }
+
+    // One sample per configured edge plus the +Inf closer, in le-order.
+    ASSERT_EQ(buckets.size(), h.bounds.size() + 1) << prom_name;
+    for (size_t i = 0; i < h.bounds.size(); ++i) {
+      EXPECT_NE(buckets[i].first, "+Inf") << prom_name;
+    }
+    EXPECT_EQ(buckets.back().first, "+Inf") << prom_name;
+    uint64_t expected_cumulative = 0;
+    for (size_t i = 0; i < buckets.size(); ++i) {
+      expected_cumulative += h.counts[i];
+      EXPECT_EQ(buckets[i].second, expected_cumulative)
+          << prom_name << " le=" << buckets[i].first;
+      if (i > 0) {
+        EXPECT_GE(buckets[i].second, buckets[i - 1].second)
+            << prom_name << " buckets must be monotone";
+      }
+    }
+    // The closing bucket is the total: +Inf == _count, always.
+    EXPECT_EQ(buckets.back().second, h.count) << prom_name;
+    EXPECT_NE(prom.find(prom_name + "_count " + std::to_string(h.count)),
+              std::string::npos)
+        << prom;
+  }
 }
 
 }  // namespace

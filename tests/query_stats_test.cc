@@ -278,6 +278,94 @@ TEST(QueryStatsStoreTest, ToJsonRendersShapesRecentAndSlowLog) {
   EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos) << json;
 }
 
+TEST(QueryStatsStoreTest, UsageAndBudgetAggregatePerShape) {
+  QueryStatsStore store;
+  QueryExecution a = MakeExec(9, 1.0);
+  a.usage.cpu_ms = 2.0;
+  a.usage.tuples_produced = 10;
+  a.usage.bytes_touched = 1000;
+  QueryExecution b = MakeExec(9, 1.0);
+  b.usage.cpu_ms = 4.0;
+  b.usage.tuples_produced = 30;
+  b.usage.bytes_touched = 3000;
+  b.budget_exhausted = true;
+  store.Record(a);
+  store.Record(b);
+
+  std::vector<ShapeStatsSnapshot> shapes = store.Shapes();
+  ASSERT_EQ(shapes.size(), 1u);
+  EXPECT_DOUBLE_EQ(shapes[0].MeanCpuMs(), 3.0);
+  EXPECT_DOUBLE_EQ(shapes[0].MeanTuplesProduced(), 20.0);
+  EXPECT_DOUBLE_EQ(shapes[0].MeanBytesTouched(), 2000.0);
+  EXPECT_EQ(shapes[0].budget_exhausted, 1u);
+
+  const std::string json = store.ToJson();
+  EXPECT_NE(json.find("\"cpu_ms_mean\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"tuples_produced_mean\":"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"budget_exhausted\":1"), std::string::npos) << json;
+  // The recent ring carries each execution's usage block verbatim.
+  EXPECT_NE(json.find("\"usage\":{\"cpu_ms\":"), std::string::npos) << json;
+}
+
+TEST(QueryStatsStoreTest, SetOptionsTrimsExistingEntriesToNewCapacities) {
+  QueryStatsStore store;  // Default capacities: plenty of room.
+  for (int i = 0; i < 6; ++i) {
+    store.Record(MakeExec(static_cast<uint64_t>(i), 1.0));
+    store.RecordSlow(MakeExec(static_cast<uint64_t>(i), 10.0), 5.0,
+                     nullptr);
+  }
+  ASSERT_EQ(store.shape_count(), 6u);
+
+  QueryStatsOptions shrunk;
+  shrunk.max_shapes = 2;
+  shrunk.ring_capacity = 3;
+  shrunk.slowlog_capacity = 1;
+  store.SetOptions(shrunk);
+
+  EXPECT_EQ(store.options().max_shapes, 2u);
+  // Shrinking retroactively evicts: oldest-touched shapes, oldest ring
+  // and slow-log entries go first, newest survive.
+  EXPECT_EQ(store.shape_count(), 2u);
+  std::vector<QueryExecution> recent = store.Recent();
+  ASSERT_EQ(recent.size(), 3u);
+  EXPECT_EQ(recent.front().fingerprint, 3u);
+  EXPECT_EQ(recent.back().fingerprint, 5u);
+  std::vector<SlowQueryEntry> slow = store.SlowLog();
+  ASSERT_EQ(slow.size(), 1u);
+  EXPECT_EQ(slow[0].execution.fingerprint, 5u);
+}
+
+TEST(QueryStatsStoreTest, EvictionsAreCountedPerStructure) {
+  QueryStatsOptions opts;
+  opts.max_shapes = 2;
+  opts.ring_capacity = 2;
+  opts.slowlog_capacity = 2;
+  QueryStatsStore store(opts);
+  for (int i = 0; i < 5; ++i) {
+    store.Record(MakeExec(static_cast<uint64_t>(i), 1.0));
+    store.RecordSlow(MakeExec(static_cast<uint64_t>(i), 10.0), 5.0,
+                     nullptr);
+  }
+
+  const QueryStatsEvictions ev = store.Evictions();
+  EXPECT_EQ(ev.shapes, 3u);   // 5 distinct shapes into 2 slots.
+  EXPECT_EQ(ev.ring, 3u);     // 5 executions into a ring of 2.
+  EXPECT_EQ(ev.slowlog, 3u);  // Same for the slow log.
+
+  const std::string json = store.ToJson();
+  EXPECT_NE(json.find("\"evictions\":{\"shapes\":3,\"ring\":3,"
+                      "\"slowlog\":3}"),
+            std::string::npos)
+      << json;
+
+  store.Reset();
+  const QueryStatsEvictions cleared = store.Evictions();
+  EXPECT_EQ(cleared.shapes, 0u);
+  EXPECT_EQ(cleared.ring, 0u);
+  EXPECT_EQ(cleared.slowlog, 0u);
+}
+
 // --- End-to-end through the FlexPath facade ------------------------------
 
 class QueryStatsIntegrationTest : public ::testing::Test {

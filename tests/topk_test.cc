@@ -235,6 +235,83 @@ TEST_F(TopKTest, DpoCountersIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST_F(TopKTest, TupleBudgetReturnsPartialAnswersFlagged) {
+  Tpq q = Parse(kQ1);
+  for (Algorithm algo :
+       {Algorithm::kDpo, Algorithm::kSso, Algorithm::kHybrid}) {
+    TopKOptions opts;
+    // K beyond what the corpus can yield, so no pass ever reaches it and
+    // the between-rounds budget check must fire.
+    opts.k = 50;
+    opts.max_tuples = 1;
+    Result<TopKResult> result = processor_->Run(q, algo, opts);
+    ASSERT_TRUE(result.ok()) << AlgorithmName(algo);
+    // The budget trips after the first round/pass that produced a tuple;
+    // the run stops relaxing and hands back what it has.
+    EXPECT_TRUE(result->budget_exhausted) << AlgorithmName(algo);
+    EXPECT_LT(result->answers.size(), 50u) << AlgorithmName(algo);
+    // The exact match is found before any budget check fires — the
+    // partial result is a usable prefix, not empty.
+    ASSERT_FALSE(result->answers.empty()) << AlgorithmName(algo);
+    EXPECT_EQ(IdOf(result->answers[0].node), "a1") << AlgorithmName(algo);
+  }
+}
+
+TEST_F(TopKTest, NoBudgetRunsAreByteIdenticalToDefaults) {
+  Tpq q = Parse(kQ1);
+  TopKOptions plain;
+  plain.k = 5;
+  // Explicit zeros are "disabled", not "zero budget" — same code path.
+  TopKOptions zeros = plain;
+  zeros.max_cpu_ms = 0.0;
+  zeros.max_tuples = 0;
+  for (Algorithm algo :
+       {Algorithm::kDpo, Algorithm::kSso, Algorithm::kHybrid}) {
+    Result<TopKResult> a = processor_->Run(q, algo, plain);
+    Result<TopKResult> b = processor_->Run(q, algo, zeros);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_FALSE(a->budget_exhausted);
+    EXPECT_FALSE(b->budget_exhausted);
+    ASSERT_EQ(a->answers.size(), b->answers.size());
+    for (size_t i = 0; i < a->answers.size(); ++i) {
+      EXPECT_EQ(a->answers[i].node, b->answers[i].node);
+      EXPECT_DOUBLE_EQ(a->answers[i].score.ss, b->answers[i].score.ss);
+      EXPECT_DOUBLE_EQ(a->answers[i].score.ks, b->answers[i].score.ks);
+    }
+    a->counters.ForEach([&](const char* name, uint64_t value) {
+      EXPECT_EQ(value, [&] {
+        uint64_t other = 0;
+        b->counters.ForEach([&](const char* n, uint64_t v) {
+          if (std::string_view(n) == name) other = v;
+        });
+        return other;
+      }()) << name;
+    });
+  }
+}
+
+TEST_F(TopKTest, UsageFieldsAreDeterministicFunctionsOfCounters) {
+  Tpq q = Parse(kQ1);
+  TopKOptions opts;
+  opts.k = 5;
+  Result<TopKResult> first = processor_->Run(q, Algorithm::kDpo, opts);
+  Result<TopKResult> second = processor_->Run(q, Algorithm::kDpo, opts);
+  ASSERT_TRUE(first.ok() && second.ok());
+  // Everything except cpu_ms (wall truth, varies run to run) must agree.
+  EXPECT_EQ(first->usage.tuples_scanned, second->usage.tuples_scanned);
+  EXPECT_EQ(first->usage.tuples_produced, second->usage.tuples_produced);
+  EXPECT_EQ(first->usage.bytes_touched, second->usage.bytes_touched);
+  EXPECT_EQ(first->usage.cache_hits, second->usage.cache_hits);
+  EXPECT_EQ(first->usage.cache_misses, second->usage.cache_misses);
+  EXPECT_EQ(first->usage.rounds_executed, second->usage.rounds_executed);
+  EXPECT_EQ(first->usage.rounds_pruned, second->usage.rounds_pruned);
+  // And they are the published function of the counters.
+  EXPECT_EQ(first->usage.tuples_scanned, first->counters.candidates_probed);
+  EXPECT_EQ(first->usage.tuples_produced, first->counters.tuples_created);
+  EXPECT_EQ(first->usage.rounds_executed, first->counters.plan_passes);
+  EXPECT_GT(first->usage.cpu_ms, 0.0);
+}
+
 TEST_F(TopKTest, RejectsZeroK) {
   Tpq q = Parse(kQ1);
   TopKOptions opts;
