@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-exposition (0.0.4) scrape from /metrics.
+
+Usage: check_prometheus.py FILE   (or `-` / no arg for stdin)
+
+A tiny structural parser — no client_golang, just the format rules the
+admin endpoint promises to uphold:
+
+  - every sample line is `name{labels} value` or `name value`, with the
+    metric name matching [a-zA-Z_:][a-zA-Z0-9_:]*
+  - values parse as floats (Inf/NaN spellings allowed)
+  - `# TYPE` lines name a known type (counter|gauge|histogram|summary|
+    untyped) and precede their samples
+  - for each histogram: `le` bucket labels are sorted and their
+    cumulative counts are monotone nondecreasing, an `+Inf` bucket
+    exists, and its count equals the histogram's `_count` sample
+  - at least one `flexpath_`-prefixed metric is present (a scrape of the
+    wrong endpoint yields an empty-but-valid exposition; catch it)
+
+Exits 0 when the exposition is valid, 1 with `::error::` annotations
+otherwise.
+"""
+
+import math
+import os
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+# `name{label="value",...} value` — labels optional; values are
+# float-parseable including +Inf/-Inf/NaN.
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)\s*$"
+)
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+KNOWN_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+errors = 0
+
+
+def error(lineno: int, msg: str) -> None:
+    global errors
+    errors += 1
+    if os.environ.get("GITHUB_ACTIONS") == "true":
+        print(f"::error title=check_prometheus::line {lineno}: {msg}")
+    else:
+        print(f"error: line {lineno}: {msg}", file=sys.stderr)
+
+
+def parse_value(token: str) -> float:
+    # The exposition format spells infinities +Inf/-Inf; float() accepts
+    # inf/Infinity variants, which covers them case-insensitively.
+    return float(token)
+
+
+def base_name(name: str) -> str:
+    for suffix in ("_bucket", "_count", "_sum", "_total"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) > 1 and argv[1] != "-":
+        with open(argv[1]) as f:
+            lines = f.read().splitlines()
+    else:
+        lines = sys.stdin.read().splitlines()
+
+    declared_types: dict[str, str] = {}
+    # histogram base -> list of (lineno, le_value, count)
+    buckets: dict[str, list[tuple[int, float, float]]] = {}
+    counts: dict[str, tuple[int, float]] = {}  # base -> (_count line, value)
+    sample_names: set[str] = set()
+
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) < 4:
+                    error(lineno, f"malformed TYPE line: {line!r}")
+                    continue
+                name, kind = parts[2], parts[3].strip()
+                if not NAME_RE.match(name):
+                    error(lineno, f"bad metric name in TYPE line: {name!r}")
+                if kind not in KNOWN_TYPES:
+                    error(lineno, f"unknown metric type {kind!r} for {name}")
+                if name in sample_names or any(
+                    base_name(s) == name for s in sample_names
+                ):
+                    error(lineno, f"TYPE for {name} appears after its samples")
+                declared_types[name] = kind
+            # HELP and comment lines are free-form.
+            continue
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            error(lineno, f"unparseable sample line: {line!r}")
+            continue
+        name = m.group("name")
+        if not NAME_RE.match(name):
+            error(lineno, f"invalid metric name: {name!r}")
+            continue
+        sample_names.add(name)
+        try:
+            value = parse_value(m.group("value"))
+        except ValueError:
+            error(lineno, f"non-numeric value for {name}: {m.group('value')!r}")
+            continue
+
+        labels = dict(LABEL_RE.findall(m.group("labels") or ""))
+        base = base_name(name)
+        if name.endswith("_bucket"):
+            if "le" not in labels:
+                error(lineno, f"histogram bucket {name} has no le label")
+                continue
+            le_raw = labels["le"]
+            try:
+                le = math.inf if le_raw == "+Inf" else float(le_raw)
+            except ValueError:
+                error(lineno, f"unparseable le bound {le_raw!r} on {name}")
+                continue
+            buckets.setdefault(base, []).append((lineno, le, value))
+        elif name.endswith("_count"):
+            counts[base] = (lineno, value)
+
+    for base, entries in buckets.items():
+        if declared_types.get(base) not in (None, "histogram"):
+            error(
+                entries[0][0],
+                f"{base} has _bucket samples but TYPE {declared_types[base]}",
+            )
+        # Exposition order must already be sorted by le.
+        les = [le for (_, le, _) in entries]
+        if les != sorted(les):
+            error(entries[0][0], f"{base} buckets not sorted by le: {les}")
+        prev = -math.inf
+        for lineno, le, count in sorted(entries, key=lambda e: e[1]):
+            if count < prev:
+                error(
+                    lineno,
+                    f"{base} cumulative bucket count decreases at le={le} "
+                    f"({prev} -> {count})",
+                )
+            prev = count
+        if not les or les[-1] != math.inf:
+            error(entries[0][0], f"{base} has no le=\"+Inf\" bucket")
+            continue
+        inf_count = max(c for (_, le, c) in entries if le == math.inf)
+        if base not in counts:
+            error(entries[0][0], f"{base} has buckets but no {base}_count")
+        elif counts[base][1] != inf_count:
+            error(
+                counts[base][0],
+                f"{base}_count={counts[base][1]} != +Inf bucket {inf_count}",
+            )
+
+    if not any(n.startswith("flexpath_") for n in sample_names):
+        error(0, "no flexpath_-prefixed metric in the exposition")
+
+    if errors:
+        print(f"check_prometheus: {errors} error(s)")
+        return 1
+    print(
+        f"check_prometheus: OK — {len(sample_names)} sample name(s), "
+        f"{len(buckets)} histogram(s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -41,6 +41,11 @@
 //                              chrome://tracing or ui.perfetto.dev
 //   :flightrec                 dump the crash-safe flight recorder ring
 //                              as JSON (most recent ~4k runtime events)
+//   :watch [SECONDS]           windowed metric rates (QPS, cache hit
+//                              rate, rounds pruned/s, cpu_ms/s, mean
+//                              latency) over the trailing window
+//                              (default 60s); needs --admin-port or a
+//                              prior :watch to start the sampler
 //   :help / :quit
 //
 // Corpus flags:
@@ -67,7 +72,20 @@
 //   --crash-dump FILE          install fatal-signal handlers (SIGSEGV,
 //                              SIGBUS, SIGFPE, SIGILL, SIGABRT) that dump
 //                              the flight-recorder ring to FILE before
-//                              re-raising
+//                              re-raising; SIGTERM/SIGINT also dump there
+//                              (via the normal exit path) before exiting
+//   --admin-port N             serve the embedded admin endpoint on this
+//                              port (0 = ephemeral, printed on stderr);
+//                              routes: /healthz /buildz /metrics /statsz
+//                              /varz /tracez /flightrecz /timeseriesz.
+//                              Off by default: without the flag no socket
+//                              is opened and no thread started
+//   --admin-bind ADDR          admin bind address (default 127.0.0.1;
+//                              loopback-only unless overridden)
+//   --query-log FILE           append one JSON line per query (text,
+//                              options, result metadata, resource usage,
+//                              answers digest); replay the file with
+//                              flexpath_replay
 //   --stats-shapes N           per-shape statistics table capacity
 //   --stats-ring N             recent-executions ring capacity
 //   --stats-slowlog N          slow-query log capacity
@@ -83,18 +101,23 @@
 //                              answers are identical at every tier)
 //   --cache-mb N               byte budget, in MB, of the process-wide
 //                              shared tier (and of each run-local tier)
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
 #include "common/log.h"
 #include "common/string_util.h"
 #include "core/flexpath.h"
+#include "obs/admin_server.h"
 #include "obs/flight_recorder.h"
+#include "obs/metrics_history.h"
+#include "obs/query_log.h"
 #include "query/logical.h"
 #include "relax/operators.h"
 #include "relax/penalty.h"
@@ -103,8 +126,28 @@
 
 namespace {
 
+// Set by the SIGTERM/SIGINT handlers. The handlers only set this flag;
+// the dump itself runs on the normal exit path in main() (full C++,
+// not the async-signal-safe DumpTo path --crash-dump uses for fatal
+// signals).
+volatile std::sig_atomic_t g_shutdown_signal = 0;
+
+void OnShutdownSignal(int sig) { g_shutdown_signal = sig; }
+
+// sigaction without SA_RESTART: a signal mid-getline makes the read fail
+// with EINTR, so the REPL loop exits and main() runs its cleanup.
+void InstallShutdownHandlers() {
+  struct sigaction sa = {};
+  sa.sa_handler = OnShutdownSignal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+}
+
 struct CliState {
   flexpath::FlexPath fp;
+  flexpath::MetricsHistory history;  ///< Inert until StartHistory().
   size_t k = 10;
   flexpath::Algorithm algo = flexpath::Algorithm::kHybrid;
   flexpath::RankScheme scheme = flexpath::RankScheme::kStructureFirst;
@@ -141,6 +184,86 @@ bool WriteFile(const std::string& path, const std::string& content) {
   return true;
 }
 
+// Starts the metrics-history sampler on first use (admin endpoint or
+// :watch). Idempotent; without either, no sampler thread ever runs.
+void StartHistory(CliState& state) {
+  if (!state.history.running()) state.history.Start();
+}
+
+// Parses ?window=SECONDS (default 60, clamped to something sane).
+double WindowParam(const flexpath::HttpRequest& req) {
+  double window_s = 60.0;
+  if (const std::string* w = req.Param("window")) {
+    window_s = std::atof(w->c_str());
+  }
+  if (window_s <= 0.0) window_s = 60.0;
+  return std::min(window_s, 86400.0);
+}
+
+// Registers every admin route against the engine. The server owns
+// nothing: handlers read from `state` (alive for the whole process) and
+// every underlying accessor is thread-safe, so scrapes run concurrently
+// with REPL queries.
+void RegisterAdminRoutes(CliState& state, flexpath::AdminServer& server) {
+  auto json = [](std::string body) {
+    flexpath::HttpResponse resp;
+    resp.body = std::move(body);
+    return resp;
+  };
+  server.Handle("/healthz", [json](const flexpath::HttpRequest&) {
+    return json("{\"status\":\"ok\"}");
+  });
+  server.Handle("/buildz", [&state, json](const flexpath::HttpRequest&) {
+    return json(state.fp.BuildInfoJson());
+  });
+  server.Handle("/metrics", [&state](const flexpath::HttpRequest&) {
+    flexpath::HttpResponse resp;
+    resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    resp.body = state.fp.MetricsPrometheus();
+    return resp;
+  });
+  server.Handle("/statsz", [&state, json](const flexpath::HttpRequest& req) {
+    // ?recent=N caps the recent/slow_log arrays; the explicit ceiling
+    // keeps a scrape from asking for an unbounded render.
+    size_t recent = 1024;
+    if (const std::string* n = req.Param("recent")) {
+      recent = std::min<size_t>(
+          static_cast<size_t>(std::max(0L, std::atol(n->c_str()))), 1024);
+    }
+    return json(state.fp.query_stats()->ToJson(recent));
+  });
+  server.Handle("/varz", [&state, json](const flexpath::HttpRequest&) {
+    return json(state.fp.VarzJson());
+  });
+  server.Handle("/cachez", [&state, json](const flexpath::HttpRequest&) {
+    return json(state.fp.CacheStatsJson());
+  });
+  server.Handle("/tracez", [&state, json](const flexpath::HttpRequest&) {
+    const std::string chrome = state.fp.LastTraceChromeJson();
+    return json(chrome.empty() ? "{\"traceEvents\":[]}" : chrome);
+  });
+  server.Handle("/flightrecz", [&state, json](const flexpath::HttpRequest&) {
+    return json(state.fp.FlightRecorderJson());
+  });
+  server.Handle("/timeseriesz",
+                [&state, json](const flexpath::HttpRequest& req) {
+                  return json(state.history.ToJson(WindowParam(req)));
+                });
+}
+
+// :watch — the same derived rates /timeseriesz serves, as one terminal
+// line. Starts the sampler on first use.
+void Watch(CliState& state, double window_s) {
+  StartHistory(state);
+  state.history.SampleNow();
+  const flexpath::DerivedRates rates = state.history.Derived(window_s);
+  std::printf("window %.0fs: qps=%.3f errors/s=%.3f cache_hit=%.1f%% "
+              "rounds_pruned/s=%.3f cpu_ms/s=%.3f mean_latency=%.3fms\n",
+              window_s, rates.qps, rates.errors_per_s,
+              rates.cache_hit_rate * 100.0, rates.rounds_pruned_per_s,
+              rates.cpu_ms_per_s, rates.latency_mean_ms);
+}
+
 void PrintHelp() {
   std::printf(
       "  <xpath>                  run a top-K query\n"
@@ -157,6 +280,7 @@ void PrintHelp() {
       "  :cache [off|run|shared]  cache statistics / result-cache tier\n"
       "  :trace [FILE]            Chrome-trace JSON of the last traced query\n"
       "  :flightrec               dump the flight-recorder ring as JSON\n"
+      "  :watch [SECONDS]         windowed metric rates (default 60s)\n"
       "  :help, :quit\n");
 }
 
@@ -168,7 +292,7 @@ void RunQuery(CliState& state, const std::string& xpath) {
   }
   // QueryTpq (not Query) so budget trips are visible on the result.
   flexpath::Result<flexpath::TopKResult> result =
-      state.fp.QueryTpq(*q, MakeOptions(state), state.algo);
+      state.fp.QueryTpq(*q, MakeOptions(state), state.algo, xpath);
   if (!result.ok()) {
     std::printf("error: %s\n", result.status().ToString().c_str());
     return;
@@ -232,7 +356,7 @@ int ExplainAnalyze(CliState& state, const std::string& xpath,
   flexpath::TopKOptions opts = MakeOptions(state);
   opts.collect_trace = true;
   flexpath::Result<flexpath::TopKResult> result =
-      state.fp.QueryTpq(*q, opts, state.algo);
+      state.fp.QueryTpq(*q, opts, state.algo, xpath);
   if (!result.ok()) {
     std::printf("error: %s\n", result.status().ToString().c_str());
     return 1;
@@ -496,6 +620,10 @@ int Repl(CliState& state) {
       }
     } else if (cmd == ":flightrec") {
       std::printf("%s\n", state.fp.FlightRecorderJson().c_str());
+    } else if (cmd == ":watch") {
+      double window_s = 60.0;
+      words >> window_s;
+      Watch(state, window_s > 0.0 ? window_s : 60.0);
     } else {
       std::printf("unknown command %s (:help)\n", cmd.c_str());
     }
@@ -514,6 +642,10 @@ int main(int argc, char** argv) {
   const char* check_query = nullptr;
   bool check_json = false;
   std::string flightrec_out;
+  std::string crash_dump;
+  std::string query_log_path;
+  bool admin_enabled = false;
+  flexpath::AdminServerOptions admin_opts;
   flexpath::QueryStatsOptions stats_opts;
   bool stats_opts_set = false;
   for (int i = 1; i < argc; ++i) {
@@ -551,7 +683,21 @@ int main(int argc, char** argv) {
       continue;
     }
     if (const char* v = FlagValue(argc, argv, &i, "--crash-dump")) {
+      crash_dump = v;
       flexpath::FlightRecorder::InstallCrashHandler(v);
+      continue;
+    }
+    if (const char* v = FlagValue(argc, argv, &i, "--admin-port")) {
+      admin_enabled = true;
+      admin_opts.port = static_cast<uint16_t>(std::atoi(v));
+      continue;
+    }
+    if (const char* v = FlagValue(argc, argv, &i, "--admin-bind")) {
+      admin_opts.bind_address = v;
+      continue;
+    }
+    if (const char* v = FlagValue(argc, argv, &i, "--query-log")) {
+      query_log_path = v;
       continue;
     }
     if (const char* v = FlagValue(argc, argv, &i, "--stats-shapes")) {
@@ -660,7 +806,9 @@ int main(int argc, char** argv) {
                  "[--threads N] [--metrics-prom] "
                  "[--cache off|run|shared] [--cache-mb N] "
                  "[--trace-out FILE] [--flightrec-out FILE] "
-                 "[--crash-dump FILE] [--stats-shapes N] [--stats-ring N] "
+                 "[--crash-dump FILE] [--admin-port N] [--admin-bind ADDR] "
+                 "[--query-log FILE] "
+                 "[--stats-shapes N] [--stats-ring N] "
                  "[--stats-slowlog N] [--max-cpu-ms N] [--max-tuples N] "
                  "[file.xml ...]\n"
                  "loads documents, then starts an interactive shell;\n"
@@ -677,6 +825,31 @@ int main(int argc, char** argv) {
     return 1;
   }
   if (stats_opts_set) state.fp.SetQueryStatsOptions(stats_opts);
+  std::unique_ptr<flexpath::QueryLogWriter> query_log;
+  if (!query_log_path.empty()) {
+    flexpath::Result<std::unique_ptr<flexpath::QueryLogWriter>> writer =
+        flexpath::QueryLogWriter::Open(query_log_path);
+    if (!writer.ok()) {
+      std::fprintf(stderr, "--query-log: %s\n",
+                   writer.status().ToString().c_str());
+      return 2;
+    }
+    query_log = std::move(writer).value();
+    state.fp.SetQueryLog(query_log.get());
+    std::fprintf(stderr, "query log: %s\n", query_log_path.c_str());
+  }
+  flexpath::AdminServer admin(admin_opts);
+  if (admin_enabled) {
+    StartHistory(state);
+    RegisterAdminRoutes(state, admin);
+    if (flexpath::Status st = admin.Start(); !st.ok()) {
+      std::fprintf(stderr, "--admin-port: %s\n", st.ToString().c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "admin endpoint: http://%s:%u/\n",
+                 admin_opts.bind_address.c_str(), admin.port());
+  }
+  InstallShutdownHandlers();
   int rc = 0;
   if (check_query != nullptr) {
     rc = Check(state, check_query, check_json);
@@ -686,6 +859,9 @@ int main(int argc, char** argv) {
     PrintStats(state);
     rc = Repl(state);
   }
+  if (admin_enabled) admin.Stop();
+  state.fp.SetQueryLog(nullptr);
+  state.history.Stop();
   if (!state.trace_out.empty()) {
     std::string chrome = state.fp.LastTraceChromeJson();
     if (chrome.empty() && state.fp.build_trace() != nullptr) {
@@ -706,6 +882,17 @@ int main(int argc, char** argv) {
   }
   if (metrics_prom) {
     std::printf("%s", state.fp.MetricsPrometheus().c_str());
+  }
+  if (g_shutdown_signal != 0) {
+    // Graceful SIGTERM/SIGINT: dump the flight-recorder ring through the
+    // normal (full-C++) path — same file --crash-dump uses for fatal
+    // signals — then exit with the conventional 128+signal status.
+    if (!crash_dump.empty() &&
+        WriteFile(crash_dump, state.fp.FlightRecorderJson())) {
+      std::fprintf(stderr, "flight recorder dumped to %s (signal %d)\n",
+                   crash_dump.c_str(), static_cast<int>(g_shutdown_signal));
+    }
+    return 128 + static_cast<int>(g_shutdown_signal);
   }
   return rc;
 }

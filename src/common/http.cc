@@ -1,0 +1,127 @@
+#include "common/http.h"
+
+#include <unistd.h>
+
+namespace flexpath {
+
+namespace {
+
+int HexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+void ScopedFd::reset(int fd) {
+  if (fd_ >= 0) close(fd_);
+  fd_ = fd;
+}
+
+std::string UrlDecode(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '+') {
+      out += ' ';
+    } else if (s[i] == '%' && i + 2 < s.size()) {
+      const int hi = HexDigit(s[i + 1]);
+      const int lo = HexDigit(s[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out += static_cast<char>(hi * 16 + lo);
+        i += 2;
+      } else {
+        out += '%';
+      }
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+const std::string* HttpRequest::Param(std::string_view key) const {
+  for (const auto& [k, v] : params) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+bool ParseHttpRequest(std::string_view head, HttpRequest* out,
+                      std::string* error) {
+  const auto fail = [error](const char* why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  const size_t line_end = head.find("\r\n");
+  std::string_view line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+  const size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos) return fail("no method");
+  const size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos) return fail("no request target");
+  const std::string_view version = line.substr(sp2 + 1);
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+    return fail("unsupported HTTP version");
+  }
+  out->method = std::string(line.substr(0, sp1));
+  std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (target.empty() || target[0] != '/') return fail("bad request target");
+  out->target = std::string(target);
+  const size_t qmark = target.find('?');
+  out->path = UrlDecode(target.substr(0, qmark));
+  out->params.clear();
+  if (qmark != std::string_view::npos) {
+    std::string_view query = target.substr(qmark + 1);
+    while (!query.empty()) {
+      const size_t amp = query.find('&');
+      std::string_view pair = query.substr(0, amp);
+      query = amp == std::string_view::npos ? std::string_view{}
+                                            : query.substr(amp + 1);
+      if (pair.empty()) continue;
+      const size_t eq = pair.find('=');
+      if (eq == std::string_view::npos) {
+        out->params.emplace_back(UrlDecode(pair), "");
+      } else {
+        out->params.emplace_back(UrlDecode(pair.substr(0, eq)),
+                                 UrlDecode(pair.substr(eq + 1)));
+      }
+    }
+  }
+  return true;
+}
+
+const char* HttpStatusReason(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 431:
+      return "Request Header Fields Too Large";
+    case 500:
+      return "Internal Server Error";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Unknown";
+  }
+}
+
+std::string SerializeHttpResponse(const HttpResponse& response) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    HttpStatusReason(response.status) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+}  // namespace flexpath

@@ -1,0 +1,84 @@
+#ifndef FLEXPATH_COMMON_HTTP_H_
+#define FLEXPATH_COMMON_HTTP_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace flexpath {
+
+/// Owns one file descriptor; closes it on destruction. The moved-from
+/// state is -1 (no descriptor), so containers of ScopedFd work.
+class ScopedFd {
+ public:
+  ScopedFd() = default;
+  explicit ScopedFd(int fd) : fd_(fd) {}
+  ScopedFd(ScopedFd&& other) noexcept : fd_(other.release()) {}
+  ScopedFd& operator=(ScopedFd&& other) noexcept {
+    if (this != &other) {
+      reset(other.release());
+    }
+    return *this;
+  }
+  ScopedFd(const ScopedFd&) = delete;
+  ScopedFd& operator=(const ScopedFd&) = delete;
+  ~ScopedFd() { reset(); }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  /// Returns the descriptor and gives up ownership.
+  int release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  /// Closes the current descriptor (if any) and adopts `fd`.
+  void reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Decodes %XX escapes and '+' (as space) in a URL component. Malformed
+/// escapes are passed through verbatim.
+std::string UrlDecode(std::string_view s);
+
+/// One parsed HTTP request head. Only what the admin plane needs: the
+/// request line (method, target split into path + query parameters).
+/// Headers are tolerated and skipped; bodies are not supported.
+struct HttpRequest {
+  std::string method;  ///< "GET", "HEAD", ...; uppercase as received.
+  std::string target;  ///< Raw request target ("/statsz?recent=5").
+  std::string path;    ///< Decoded path component ("/statsz").
+  /// Decoded query parameters in request order. Keys repeat as sent.
+  std::vector<std::pair<std::string, std::string>> params;
+
+  /// First value of `key`, or null when absent.
+  const std::string* Param(std::string_view key) const;
+};
+
+/// Parses a request head (everything up to and including the blank line).
+/// Returns false — with a short reason in `error` when non-null — on a
+/// malformed request line or an unsupported HTTP version.
+bool ParseHttpRequest(std::string_view head, HttpRequest* out,
+                      std::string* error = nullptr);
+
+/// One response. Serialized with Content-Length and `Connection: close` —
+/// the admin server is strictly one request per connection.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+};
+
+/// The standard reason phrase for `status` ("OK", "Not Found", ...);
+/// "Unknown" for statuses the admin plane never emits.
+const char* HttpStatusReason(int status);
+
+/// Renders the full HTTP/1.1 response (status line, headers, body).
+std::string SerializeHttpResponse(const HttpResponse& response);
+
+}  // namespace flexpath
+
+#endif  // FLEXPATH_COMMON_HTTP_H_

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <utility>
 
+#include "common/json_util.h"
 #include "common/log.h"
 #include "obs/flight_recorder.h"
 #include "relax/schedule.h"
@@ -110,7 +111,7 @@ Result<std::vector<QueryAnswer>> FlexPath::Query(std::string_view xpath,
                                                  Algorithm algo) {
   Result<Tpq> q = Parse(xpath);
   if (!q.ok()) return q.status();
-  Result<TopKResult> result = QueryTpq(*q, opts, algo);
+  Result<TopKResult> result = QueryTpq(*q, opts, algo, xpath);
   if (!result.ok()) return result.status();
 
   std::vector<QueryAnswer> out;
@@ -132,8 +133,10 @@ Result<std::vector<QueryAnswer>> FlexPath::Query(std::string_view xpath,
 }
 
 Result<TopKResult> FlexPath::QueryTpq(const Tpq& q, const TopKOptions& opts,
-                                      Algorithm algo) {
+                                      Algorithm algo,
+                                      std::string_view query_text) {
   if (!built_) return Status::InvalidArgument("call Build() first");
+  const auto wall_start = std::chrono::steady_clock::now();
   Result<TopKResult> result = [&]() -> Result<TopKResult> {
     if (thesaurus_.size() > 0 && q.ContainsCount() > 0) {
       Tpq expanded = q;
@@ -145,6 +148,39 @@ Result<TopKResult> FlexPath::QueryTpq(const Tpq& q, const TopKOptions& opts,
   if (result.ok() && result->trace != nullptr) {
     MutexLock lock(trace_mu_);
     last_query_trace_ = result->trace;
+  }
+  {
+    MutexLock lock(varz_mu_);
+    ++varz_queries_;
+    if (!result.ok()) {
+      ++varz_errors_;
+    } else {
+      varz_usage_.Add(result->usage);
+    }
+  }
+  QueryLogWriter* log = query_log_.load(std::memory_order_relaxed);
+  if (log != nullptr && result.ok()) {
+    QueryLogRecord record;
+    record.ts_unix_s =
+        std::chrono::duration<double>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count();
+    record.query = query_text.empty() ? Describe(q) : std::string(query_text);
+    record.fingerprint = FingerprintTpq(q, std::as_const(corpus_).tags());
+    record.algorithm = AlgorithmName(algo);
+    record.scheme = RankSchemeName(opts.scheme);
+    record.k = opts.k;
+    record.threads = opts.num_threads;
+    record.cache_tier = CacheTierName(opts.result_cache.tier);
+    record.latency_ms = MsSince(wall_start);
+    record.answers = result->answers.size();
+    record.relaxations = result->relaxations_used;
+    record.predicates_dropped = result->predicates_dropped;
+    record.penalty = result->penalty_applied;
+    record.budget_exhausted = result->budget_exhausted;
+    record.answers_digest = AnswersDigest(result->answers);
+    record.usage = result->usage;
+    log->Append(record);
   }
   return result;
 }
@@ -166,6 +202,70 @@ std::string FlexPath::FlightRecorderJson() const {
 
 void FlexPath::SetQueryStatsOptions(const QueryStatsOptions& opts) {
   query_stats_.SetOptions(opts);
+}
+
+void FlexPath::SetQueryLog(QueryLogWriter* log) {
+  query_log_.store(log, std::memory_order_relaxed);
+}
+
+std::string FlexPath::VarzJson() const {
+  uint64_t queries = 0;
+  uint64_t errors = 0;
+  ResourceUsage usage;
+  {
+    MutexLock lock(varz_mu_);
+    queries = varz_queries_;
+    errors = varz_errors_;
+    usage = varz_usage_;
+  }
+  const uint64_t succeeded = queries - errors;
+  std::string out = "{\"queries\":" + std::to_string(queries);
+  out += ",\"errors\":" + std::to_string(errors);
+  out += ",\"usage_total\":{";
+  bool first = true;
+  usage.ForEach([&out, &first](const char* name, double value) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += name;
+    out += "\":";
+    out += FormatDouble(value);
+  });
+  out += "},\"usage_mean\":{";
+  first = true;
+  usage.ForEach([&out, &first, succeeded](const char* name, double value) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += name;
+    out += "\":";
+    out += FormatDouble(
+        succeeded == 0 ? 0.0 : value / static_cast<double>(succeeded));
+  });
+  out += "}}";
+  return out;
+}
+
+std::string FlexPath::BuildInfoJson() const {
+  std::string out = "{\"library\":\"flexpath\"";
+  out += ",\"cxx_standard\":" + std::to_string(__cplusplus);
+#if defined(__VERSION__)
+  out += ",\"compiler\":\"" + JsonEscape(__VERSION__) + '"';
+#else
+  out += ",\"compiler\":null";
+#endif
+#if defined(NDEBUG)
+  out += ",\"assertions\":false";
+#else
+  out += ",\"assertions\":true";
+#endif
+  out += ",\"built\":";
+  out += built_ ? "true" : "false";
+  out += ",\"documents\":" + std::to_string(corpus_.size());
+  out += ",\"elements\":" + std::to_string(corpus_.TotalNodes());
+  out += ",\"distinct_tags\":" +
+         std::to_string(std::as_const(corpus_).tags().size());
+  return out + '}';
 }
 
 void FlexPath::ExpandContains(Tpq* q) const {

@@ -1,6 +1,7 @@
 #ifndef FLEXPATH_CORE_FLEXPATH_H_
 #define FLEXPATH_CORE_FLEXPATH_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -16,6 +17,7 @@
 #include "exec/topk.h"
 #include "ir/engine.h"
 #include "ir/thesaurus.h"
+#include "obs/query_log.h"
 #include "obs/query_stats.h"
 #include "ir/tokenizer.h"
 #include "query/tpq.h"
@@ -96,8 +98,13 @@ class FlexPath {
                                          Algorithm algo = Algorithm::kHybrid);
 
   /// Same, for an already-parsed query; also exposes execution counters.
+  /// `query_text`, when non-empty, is the original query string — it is
+  /// what the workload-capture log records (a Tpq rendering is for
+  /// diagnostics and need not re-parse). Query() passes its XPath through
+  /// automatically.
   Result<TopKResult> QueryTpq(const Tpq& q, const TopKOptions& opts = {},
-                              Algorithm algo = Algorithm::kHybrid);
+                              Algorithm algo = Algorithm::kHybrid,
+                              std::string_view query_text = {});
 
   /// Renders a query back to text (diagnostics).
   std::string Describe(const Tpq& q) const;
@@ -198,6 +205,30 @@ class FlexPath {
   /// new capacities are smaller. See QueryStatsStore::SetOptions.
   void SetQueryStatsOptions(const QueryStatsOptions& opts);
 
+  /// Attaches (or detaches, with nullptr) a workload-capture log: every
+  /// subsequent QueryTpq/Query run appends one JSON line (query text,
+  /// options, result metadata, resource usage, answers digest) that
+  /// flexpath_replay can re-execute. Non-owning — the writer must outlive
+  /// its use; pass nullptr before destroying it. No writer attached means
+  /// zero capture cost (one relaxed atomic load per query).
+  void SetQueryLog(QueryLogWriter* log);
+  QueryLogWriter* query_log() const {
+    return query_log_.load(std::memory_order_relaxed);
+  }
+
+  /// One JSON object with this instance's cumulative per-query resource
+  /// accounting — query/error counts plus the summed and per-query-mean
+  /// ResourceUsage across every QueryTpq run:
+  ///   {"queries":..,"errors":..,
+  ///    "usage_total":{"cpu_ms":..,...},"usage_mean":{...}}
+  std::string VarzJson() const;
+
+  /// One JSON object identifying this build and instance: library
+  /// version, compiler, build mode, and corpus summary (documents,
+  /// elements, distinct tags, built flag). Static facts for the /buildz
+  /// admin route.
+  std::string BuildInfoJson() const;
+
  private:
   /// Applies the thesaurus to every contains predicate of `q` in place.
   void ExpandContains(Tpq* q) const;
@@ -215,6 +246,11 @@ class FlexPath {
   QueryStatsStore query_stats_;
   mutable Mutex trace_mu_;
   std::shared_ptr<const QueryTrace> last_query_trace_ GUARDED_BY(trace_mu_);
+  std::atomic<QueryLogWriter*> query_log_{nullptr};
+  mutable Mutex varz_mu_;
+  uint64_t varz_queries_ GUARDED_BY(varz_mu_) = 0;
+  uint64_t varz_errors_ GUARDED_BY(varz_mu_) = 0;
+  ResourceUsage varz_usage_ GUARDED_BY(varz_mu_);
 };
 
 }  // namespace flexpath

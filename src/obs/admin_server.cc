@@ -1,0 +1,306 @@
+#include "obs/admin_server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "common/json_util.h"
+#include "common/log.h"
+#include "common/metrics.h"
+
+namespace flexpath {
+
+namespace {
+
+/// Requests larger than this (the head alone; bodies are unsupported) are
+/// rejected with 431 — nothing on the admin plane needs a long URL.
+constexpr size_t kMaxRequestBytes = 8192;
+
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+}  // namespace
+
+/// One accepted client: read the request head, write the response, close.
+struct AdminServer::Connection {
+  ScopedFd fd;
+  std::string in;         ///< Bytes read so far (at most kMaxRequestBytes).
+  std::string out;        ///< Serialized response once dispatched.
+  size_t out_offset = 0;  ///< Bytes of `out` already written.
+  bool dispatched = false;
+  bool done = false;      ///< Close and drop at the end of the poll pass.
+  int64_t deadline_ms = 0;
+};
+
+AdminServer::AdminServer(AdminServerOptions opts) : opts_(std::move(opts)) {}
+
+AdminServer::~AdminServer() { Stop(); }
+
+void AdminServer::Handle(std::string path, Handler handler) {
+  handlers_[std::move(path)] = std::move(handler);
+}
+
+std::vector<std::string> AdminServer::Routes() const {
+  std::vector<std::string> out;
+  out.reserve(handlers_.size());
+  for (const auto& [path, handler] : handlers_) out.push_back(path);
+  return out;
+}
+
+bool AdminServer::running() const {
+  MutexLock lock(mu_);
+  return running_;
+}
+
+Status AdminServer::Start() {
+  {
+    MutexLock lock(mu_);
+    if (running_) {
+      return Status::InvalidArgument("admin server already running");
+    }
+    stop_requested_ = false;
+  }
+  ScopedFd fd(socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Status::Internal("socket() failed");
+  const int one = 1;
+  setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(opts_.port);
+  if (inet_pton(AF_INET, opts_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad bind address " + opts_.bind_address);
+  }
+  if (bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return Status::Internal("cannot bind " + opts_.bind_address + ":" +
+                            std::to_string(opts_.port) + " (" +
+                            std::strerror(errno) + ")");
+  }
+  if (listen(fd.get(), 16) != 0) return Status::Internal("listen() failed");
+  if (!SetNonBlocking(fd.get())) {
+    return Status::Internal("cannot set listen socket non-blocking");
+  }
+  // Read the bound port back: with opts_.port == 0 the kernel picked one.
+  sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound),
+                  &bound_len) != 0) {
+    return Status::Internal("getsockname() failed");
+  }
+  int pipe_fds[2];
+  if (pipe(pipe_fds) != 0) return Status::Internal("pipe() failed");
+  wake_read_.reset(pipe_fds[0]);
+  wake_write_.reset(pipe_fds[1]);
+  SetNonBlocking(wake_read_.get());
+  listen_fd_ = std::move(fd);
+  port_ = ntohs(bound.sin_port);
+  {
+    MutexLock lock(mu_);
+    running_ = true;
+  }
+  thread_ = std::thread([this] { Serve(); });
+  FLEXPATH_LOG_INFO("admin", "admin server listening",
+                    {"address", opts_.bind_address},
+                    {"port", static_cast<uint64_t>(port_)});
+  return Status::OK();
+}
+
+void AdminServer::Stop() {
+  {
+    MutexLock lock(mu_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  // Wake the poll loop; the byte's value is irrelevant.
+  if (wake_write_.valid()) {
+    const char b = 'x';
+    [[maybe_unused]] ssize_t n = write(wake_write_.get(), &b, 1);
+  }
+  if (thread_.joinable()) thread_.join();
+  listen_fd_.reset();
+  wake_read_.reset();
+  wake_write_.reset();
+  port_ = 0;
+  MutexLock lock(mu_);
+  running_ = false;
+}
+
+HttpResponse AdminServer::RouteRequest(const HttpRequest& request) {
+  static Counter* m_requests =
+      MetricsRegistry::Global().counter("admin.requests");
+  static Counter* m_errors =
+      MetricsRegistry::Global().counter("admin.request_errors");
+  m_requests->Inc();
+  if (request.method != "GET" && request.method != "HEAD") {
+    m_errors->Inc();
+    return {405, "application/json",
+            "{\"error\":\"method not allowed; the admin plane is read-only\"}"};
+  }
+  if (request.path == "/") {
+    std::string body = "FleXPath admin endpoint. Routes:\n";
+    for (const std::string& route : Routes()) body += "  " + route + "\n";
+    return {200, "text/plain; charset=utf-8", std::move(body)};
+  }
+  const auto it = handlers_.find(request.path);
+  if (it == handlers_.end()) {
+    m_errors->Inc();
+    return {404, "application/json",
+            "{\"error\":\"no such route\",\"path\":\"" +
+                JsonEscape(request.path) + "\"}"};
+  }
+  try {
+    return it->second(request);
+  } catch (const std::exception& e) {
+    m_errors->Inc();
+    return {500, "application/json",
+            "{\"error\":\"handler failed\",\"what\":\"" +
+                JsonEscape(e.what()) + "\"}"};
+  }
+}
+
+void AdminServer::Dispatch(Connection* conn) {
+  HttpRequest request;
+  std::string error;
+  HttpResponse response;
+  bool head = false;
+  if (ParseHttpRequest(conn->in, &request, &error)) {
+    response = RouteRequest(request);
+    head = request.method == "HEAD";
+  } else {
+    response = {400, "application/json",
+                "{\"error\":\"malformed request\",\"detail\":\"" +
+                    JsonEscape(error) + "\"}"};
+  }
+  conn->out = SerializeHttpResponse(response);
+  if (head) {
+    // Per RFC 7231: identical headers (Content-Length included), no body.
+    conn->out.resize(conn->out.size() - response.body.size());
+  }
+  conn->dispatched = true;
+}
+
+void AdminServer::Serve() {
+  std::vector<Connection> conns;
+  std::vector<pollfd> fds;
+  for (;;) {
+    {
+      MutexLock lock(mu_);
+      if (stop_requested_) break;
+    }
+    fds.clear();
+    fds.push_back({wake_read_.get(), POLLIN, 0});
+    fds.push_back({listen_fd_.get(), POLLIN, 0});
+    for (const Connection& c : conns) {
+      fds.push_back({c.fd.get(),
+                     static_cast<short>(c.dispatched ? POLLOUT : POLLIN), 0});
+    }
+    const int ready = poll(fds.data(), static_cast<nfds_t>(fds.size()),
+                           /*timeout_ms=*/250);
+    if (ready < 0 && errno != EINTR) break;
+    const int64_t now = NowMs();
+
+    // `fds[i + 2]` belongs to `conns[i]` for the connections that existed
+    // when the poll set was built; anything accepted below this point has
+    // no revents yet. Closures are deferred to one erase pass at the end
+    // so the correspondence holds throughout.
+    const size_t polled = conns.size();
+
+    // Accept every pending client (the listen socket is non-blocking).
+    if ((fds[1].revents & POLLIN) != 0) {
+      for (;;) {
+        ScopedFd client(accept(listen_fd_.get(), nullptr, nullptr));
+        if (!client.valid()) break;
+        SetNonBlocking(client.get());
+        if (conns.size() >= static_cast<size_t>(opts_.max_connections)) {
+          // Over capacity: a terse 503, best-effort, then close.
+          const std::string busy = SerializeHttpResponse(
+              {503, "application/json",
+               "{\"error\":\"too many connections\"}"});
+          [[maybe_unused]] ssize_t n =
+              write(client.get(), busy.data(), busy.size());
+          continue;
+        }
+        Connection conn;
+        conn.fd = std::move(client);
+        conn.deadline_ms = now + opts_.idle_timeout_ms;
+        conns.push_back(std::move(conn));
+      }
+    }
+
+    for (size_t i = 0; i < polled; ++i) {
+      Connection& conn = conns[i];
+      const short revents = fds[i + 2].revents;
+      if ((revents & (POLLERR | POLLNVAL)) != 0) {
+        conn.done = true;
+      } else if ((revents & POLLHUP) != 0 && !conn.dispatched) {
+        conn.done = true;
+      } else if (!conn.dispatched && (revents & POLLIN) != 0) {
+        char buf[2048];
+        const ssize_t n = read(conn.fd.get(), buf, sizeof(buf));
+        if (n == 0 ||
+            (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK)) {
+          conn.done = true;
+        } else if (n > 0) {
+          conn.in.append(buf, static_cast<size_t>(n));
+          conn.deadline_ms = now + opts_.idle_timeout_ms;
+          if (conn.in.size() > kMaxRequestBytes) {
+            conn.out = SerializeHttpResponse(
+                {431, "application/json",
+                 "{\"error\":\"request too large\"}"});
+            conn.dispatched = true;
+          } else if (conn.in.find("\r\n\r\n") != std::string::npos ||
+                     conn.in.find("\n\n") != std::string::npos) {
+            Dispatch(&conn);
+          }
+        }
+      }
+      if (conn.dispatched && !conn.done &&
+          (revents & (POLLOUT | POLLIN)) != 0) {
+        while (conn.out_offset < conn.out.size()) {
+          const ssize_t n =
+              write(conn.fd.get(), conn.out.data() + conn.out_offset,
+                    conn.out.size() - conn.out_offset);
+          if (n > 0) {
+            conn.out_offset += static_cast<size_t>(n);
+            conn.deadline_ms = now + opts_.idle_timeout_ms;
+          } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            break;
+          } else {
+            conn.done = true;
+            break;
+          }
+        }
+        if (conn.out_offset == conn.out.size()) conn.done = true;
+      }
+      if (now > conn.deadline_ms) conn.done = true;
+    }
+    conns.erase(std::remove_if(conns.begin(), conns.end(),
+                               [](const Connection& c) { return c.done; }),
+                conns.end());
+
+    if ((fds[0].revents & POLLIN) != 0) {
+      char drain[16];
+      while (read(wake_read_.get(), drain, sizeof(drain)) > 0) {
+      }
+    }
+  }
+}
+
+}  // namespace flexpath

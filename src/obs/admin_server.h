@@ -1,0 +1,95 @@
+#ifndef FLEXPATH_OBS_ADMIN_SERVER_H_
+#define FLEXPATH_OBS_ADMIN_SERVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/http.h"
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+
+namespace flexpath {
+
+struct AdminServerOptions {
+  /// Loopback by default: the admin plane exposes metrics, query text and
+  /// traces, none of which belong on a routable interface unguarded.
+  std::string bind_address = "127.0.0.1";
+  /// 0 asks the kernel for an ephemeral port; read it back with port().
+  uint16_t port = 0;
+  /// Accepted connections beyond this are answered 503 and closed.
+  int max_connections = 32;
+  /// A connection idle (no readable request, unwritten response) longer
+  /// than this is dropped.
+  int idle_timeout_ms = 5000;
+};
+
+/// Serves the in-process observability surface over HTTP/1.1: a blocking
+/// poll() loop on one dedicated thread, one request per connection, no
+/// keep-alive, GET/HEAD only. Handlers are plain callbacks registered per
+/// path before Start(); they run on the server thread, so anything they
+/// read must be thread-safe against the query pipeline (every exporter in
+/// this codebase is). Deliberately dependency-free — sockets and poll(2)
+/// only — and entirely inert until Start() is called: constructing the
+/// server allocates no socket and starts no thread.
+class AdminServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  explicit AdminServer(AdminServerOptions opts = {});
+  ~AdminServer();
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  /// Registers `handler` for exact-match `path`. Must be called before
+  /// Start(). Re-registering a path replaces its handler.
+  void Handle(std::string path, Handler handler);
+
+  /// Binds, listens and spawns the serving thread. Fails when the address
+  /// cannot be bound (port in use, bad bind address) or Start() was
+  /// already called.
+  Status Start();
+
+  /// Stops the serving thread and closes every socket. Idempotent; also
+  /// run by the destructor.
+  void Stop();
+
+  bool running() const;
+
+  /// The bound port (useful with options().port == 0); 0 before Start().
+  uint16_t port() const { return port_; }
+
+  const AdminServerOptions& options() const { return opts_; }
+
+  /// The registered paths, sorted — what the index page ("/") lists.
+  std::vector<std::string> Routes() const;
+
+ private:
+  struct Connection;
+
+  void Serve();
+  /// Parses and dispatches a complete request head; fills the
+  /// connection's output buffer.
+  void Dispatch(Connection* conn);
+  HttpResponse RouteRequest(const HttpRequest& request);
+
+  AdminServerOptions opts_;
+  std::map<std::string, Handler> handlers_;
+  ScopedFd listen_fd_;
+  ScopedFd wake_read_;   ///< Self-pipe: Stop() wakes the poll loop.
+  ScopedFd wake_write_;
+  uint16_t port_ = 0;
+  std::thread thread_;
+  mutable Mutex mu_;
+  bool running_ GUARDED_BY(mu_) = false;
+  bool stop_requested_ GUARDED_BY(mu_) = false;
+};
+
+}  // namespace flexpath
+
+#endif  // FLEXPATH_OBS_ADMIN_SERVER_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <limits>
 
 #include "common/json_util.h"
 
@@ -256,6 +257,12 @@ std::vector<QueryExecution> QueryStatsStore::Recent() const {
   return {ring_.begin(), ring_.end()};
 }
 
+std::vector<QueryExecution> QueryStatsStore::Recent(size_t limit) const {
+  MutexLock lock(mu_);
+  const size_t n = std::min(limit, ring_.size());
+  return {ring_.end() - static_cast<std::ptrdiff_t>(n), ring_.end()};
+}
+
 std::vector<SlowQueryEntry> QueryStatsStore::SlowLog() const {
   MutexLock lock(mu_);
   return {slowlog_.begin(), slowlog_.end()};
@@ -276,9 +283,17 @@ void QueryStatsStore::Reset() {
 }
 
 std::string QueryStatsStore::ToJson() const {
+  return ToJson(std::numeric_limits<size_t>::max());
+}
+
+std::string QueryStatsStore::ToJson(size_t recent_limit) const {
   const std::vector<ShapeStatsSnapshot> shapes = Shapes();
-  const std::vector<QueryExecution> recent = Recent();
-  const std::vector<SlowQueryEntry> slow = SlowLog();
+  std::vector<QueryExecution> recent = Recent(recent_limit);
+  std::vector<SlowQueryEntry> slow = SlowLog();
+  if (slow.size() > recent_limit) {
+    slow.erase(slow.begin(),
+               slow.end() - static_cast<std::ptrdiff_t>(recent_limit));
+  }
 
   std::string out = "{\"shapes\":[";
   bool first = true;

@@ -169,6 +169,11 @@ class QueryStatsStore {
   /// Recent executions, oldest first; at most ring_capacity entries.
   std::vector<QueryExecution> Recent() const;
 
+  /// The newest `limit` recent executions, oldest first. The admin
+  /// endpoint's /statsz?recent=N path — callers cap N so a scrape can't
+  /// ask for an unbounded render.
+  std::vector<QueryExecution> Recent(size_t limit) const;
+
   /// Slow-query entries, oldest first; at most slowlog_capacity entries.
   std::vector<SlowQueryEntry> SlowLog() const;
 
@@ -182,6 +187,10 @@ class QueryStatsStore {
   ///               ...,"penalty_mean":...,"answers_mean":...}],
   ///    "recent":[...], "slow_log":[...]}
   std::string ToJson() const;
+
+  /// Same, but the "recent" and "slow_log" arrays keep only the newest
+  /// `recent_limit` entries each (still rendered oldest first).
+  std::string ToJson(size_t recent_limit) const;
 
  private:
   struct ShapeStats {

@@ -1,5 +1,7 @@
 #include "rank/score.h"
 
+#include "common/hash.h"
+
 namespace flexpath {
 
 const char* RankSchemeName(RankScheme scheme) {
@@ -39,6 +41,19 @@ double BaseStructuralScore(const Tpq& q, const Weights& w) {
     total += w.Of(p);
   }
   return total;
+}
+
+uint64_t AnswersDigest(const std::vector<RankedAnswer>& answers) {
+  // Seed with the length so a prefix never digests equal to the full set.
+  uint64_t h = HashCombine(0x666c65785061746bULL,
+                           static_cast<uint64_t>(answers.size()));
+  for (const RankedAnswer& a : answers) {
+    h = HashCombine(h, static_cast<uint64_t>(a.node.doc));
+    h = HashCombine(h, static_cast<uint64_t>(a.node.node));
+    h = HashCombine(h, a.score.ss);
+    h = HashCombine(h, a.score.ks);
+  }
+  return h;
 }
 
 }  // namespace flexpath

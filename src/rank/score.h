@@ -2,6 +2,7 @@
 #define FLEXPATH_RANK_SCORE_H_
 
 #include <string>
+#include <vector>
 
 #include "query/tpq.h"
 #include "relax/penalty.h"
@@ -45,6 +46,14 @@ struct RankedAnswer {
   NodeRef node;
   AnswerScore score;
 };
+
+/// Order-sensitive 64-bit digest of an answer list: every (doc, node)
+/// binding and both score doubles (by bit pattern) are chained in rank
+/// order, so two result sets digest equal iff they are byte-identical.
+/// The workload-capture log records it per query and flexpath_replay
+/// compares it after re-execution — the differential check that a
+/// captured workload still reproduces the same answers.
+uint64_t AnswersDigest(const std::vector<RankedAnswer>& answers);
 
 /// Σ w(p) over the structural predicates present in the original query
 /// (its pc/ad edges) — the paper's Σ w(p_i) term of Section 4.3.2, e.g. 3

@@ -1,0 +1,235 @@
+#include "obs/admin_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/http.h"
+#include "obs/query_stats.h"
+
+namespace flexpath {
+namespace {
+
+// Minimal blocking HTTP client: connects to loopback, writes `request`,
+// reads until the server closes (the admin plane is one request per
+// connection, so EOF delimits the response).
+std::string Fetch(uint16_t port, const std::string& request) {
+  ScopedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return "";
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    return "";
+  }
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::write(fd.get(), request.data() + sent, request.size() - sent);
+    if (n <= 0) return "";
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd.get(), buf, sizeof(buf));
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  return response;
+}
+
+std::string Get(uint16_t port, const std::string& target) {
+  return Fetch(port, "GET " + target + " HTTP/1.1\r\nHost: t\r\n\r\n");
+}
+
+std::string BodyOf(const std::string& response) {
+  const size_t pos = response.find("\r\n\r\n");
+  return pos == std::string::npos ? "" : response.substr(pos + 4);
+}
+
+TEST(HttpTest, UrlDecode) {
+  EXPECT_EQ(UrlDecode("a%20b+c"), "a b c");
+  EXPECT_EQ(UrlDecode("%2Fpath%3D"), "/path=");
+  EXPECT_EQ(UrlDecode("plain"), "plain");
+  // Malformed escapes pass through verbatim.
+  EXPECT_EQ(UrlDecode("bad%zz%2"), "bad%zz%2");
+}
+
+TEST(HttpTest, ParseRequestLineAndParams) {
+  HttpRequest req;
+  ASSERT_TRUE(ParseHttpRequest(
+      "GET /statsz?recent=5&recent=9&x=a%20b HTTP/1.1\r\nHost: h\r\n\r\n",
+      &req));
+  EXPECT_EQ(req.method, "GET");
+  EXPECT_EQ(req.path, "/statsz");
+  ASSERT_EQ(req.params.size(), 3u);
+  ASSERT_NE(req.Param("recent"), nullptr);
+  EXPECT_EQ(*req.Param("recent"), "5");  // First value wins.
+  ASSERT_NE(req.Param("x"), nullptr);
+  EXPECT_EQ(*req.Param("x"), "a b");
+  EXPECT_EQ(req.Param("absent"), nullptr);
+}
+
+TEST(HttpTest, ParseRejectsMalformedRequests) {
+  HttpRequest req;
+  std::string error;
+  EXPECT_FALSE(ParseHttpRequest("", &req, &error));
+  EXPECT_FALSE(ParseHttpRequest("GET\r\n\r\n", &req, &error));
+  EXPECT_FALSE(ParseHttpRequest("GET /x HTTP/2.0\r\n\r\n", &req, &error));
+  EXPECT_FALSE(ParseHttpRequest("GET noslash HTTP/1.1\r\n\r\n", &req,
+                                &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(HttpTest, SerializeResponseCarriesLengthAndClose) {
+  HttpResponse resp;
+  resp.body = "{\"a\":1}";
+  const std::string wire = SerializeHttpResponse(resp);
+  EXPECT_NE(wire.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Length: 7\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("\r\n\r\n{\"a\":1}"), std::string::npos);
+}
+
+TEST(AdminServerTest, ConstructionIsInert) {
+  AdminServer server;
+  EXPECT_FALSE(server.running());
+  EXPECT_EQ(server.port(), 0u);
+}
+
+TEST(AdminServerTest, ServesRegisteredRoutes) {
+  AdminServer server;  // Port 0: ephemeral.
+  server.Handle("/healthz", [](const HttpRequest&) {
+    HttpResponse resp;
+    resp.body = "{\"status\":\"ok\"}";
+    return resp;
+  });
+  server.Handle("/echo", [](const HttpRequest& req) {
+    HttpResponse resp;
+    const std::string* v = req.Param("v");
+    resp.body = v != nullptr ? *v : "(none)";
+    return resp;
+  });
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_TRUE(server.running());
+  ASSERT_NE(server.port(), 0u);
+
+  const std::string health = Get(server.port(), "/healthz");
+  EXPECT_NE(health.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_EQ(BodyOf(health), "{\"status\":\"ok\"}");
+
+  const std::string echo = Get(server.port(), "/echo?v=hello%20world");
+  EXPECT_EQ(BodyOf(echo), "hello world");
+
+  // "/" lists the registered routes.
+  const std::string index = Get(server.port(), "/");
+  EXPECT_NE(index.find("/healthz"), std::string::npos);
+  EXPECT_NE(index.find("/echo"), std::string::npos);
+
+  server.Stop();
+  EXPECT_FALSE(server.running());
+  server.Stop();  // Idempotent.
+}
+
+TEST(AdminServerTest, ErrorStatuses) {
+  AdminServer server;
+  server.Handle("/ok", [](const HttpRequest&) { return HttpResponse{}; });
+  server.Handle("/boom", [](const HttpRequest&) -> HttpResponse {
+    throw std::runtime_error("handler exploded");
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  EXPECT_NE(Get(server.port(), "/nope").find("HTTP/1.1 404"),
+            std::string::npos);
+  EXPECT_NE(Fetch(server.port(), "POST /ok HTTP/1.1\r\nHost: t\r\n\r\n")
+                .find("HTTP/1.1 405"),
+            std::string::npos);
+  EXPECT_NE(Fetch(server.port(), "garbage\r\n\r\n").find("HTTP/1.1 400"),
+            std::string::npos);
+  // A handler that throws maps to 500, and the server survives it.
+  EXPECT_NE(Get(server.port(), "/boom").find("HTTP/1.1 500"),
+            std::string::npos);
+  EXPECT_NE(Get(server.port(), "/ok").find("HTTP/1.1 200"),
+            std::string::npos);
+  // Oversized request heads are rejected 431, not buffered forever.
+  std::string huge = "GET /ok HTTP/1.1\r\nX-Pad: ";
+  huge.append(10000, 'a');
+  huge += "\r\n\r\n";
+  EXPECT_NE(Fetch(server.port(), huge).find("HTTP/1.1 431"),
+            std::string::npos);
+}
+
+TEST(AdminServerTest, HeadRequestOmitsBody) {
+  AdminServer server;
+  server.Handle("/data", [](const HttpRequest&) {
+    HttpResponse resp;
+    resp.body = "0123456789";
+    return resp;
+  });
+  ASSERT_TRUE(server.Start().ok());
+  const std::string response =
+      Fetch(server.port(), "HEAD /data HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(response.find("Content-Length: 10"), std::string::npos);
+  EXPECT_EQ(BodyOf(response), "");
+}
+
+TEST(AdminServerTest, StartTwiceFails) {
+  AdminServer server;
+  server.Handle("/x", [](const HttpRequest&) { return HttpResponse{}; });
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_FALSE(server.Start().ok());
+}
+
+// Scrapes run on the server thread while another thread keeps recording —
+// the TSan job exercises this test to prove the admin plane reads are
+// race-free against the query pipeline's writes.
+TEST(AdminServerTest, ConcurrentScrapeWhileRecording) {
+  QueryStatsStore store;
+  AdminServer server;
+  server.Handle("/statsz", [&store](const HttpRequest& req) {
+    size_t recent = 16;
+    if (const std::string* n = req.Param("recent")) {
+      recent = static_cast<size_t>(std::strtoul(n->c_str(), nullptr, 10));
+    }
+    HttpResponse resp;
+    resp.body = store.ToJson(recent);
+    return resp;
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  std::atomic<bool> stop{false};
+  std::thread recorder([&store, &stop] {
+    QueryExecution e;
+    e.query = "//a[./b]";
+    e.algorithm = "Hybrid";
+    e.scheme = "structure-first";
+    for (uint64_t i = 0; !stop.load(std::memory_order_relaxed); ++i) {
+      e.fingerprint = i % 7;
+      e.latency_ms = static_cast<double>(i % 13);
+      store.Record(e);
+    }
+  });
+  for (int i = 0; i < 25; ++i) {
+    const std::string response = Get(server.port(), "/statsz?recent=4");
+    EXPECT_NE(response.find("HTTP/1.1 200"), std::string::npos);
+    EXPECT_NE(BodyOf(response).find("\"shapes\""), std::string::npos);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  recorder.join();
+}
+
+}  // namespace
+}  // namespace flexpath

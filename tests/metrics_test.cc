@@ -1,5 +1,6 @@
 #include "common/metrics.h"
 
+#include <cmath>
 #include <string>
 #include <thread>
 #include <utility>
@@ -70,6 +71,68 @@ TEST(HistogramTest, EmptySnapshotIsZero) {
   EXPECT_EQ(s.count, 0u);
   EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
   EXPECT_DOUBLE_EQ(s.Quantile(0.5), 0.0);
+}
+
+// Edge cases that feed the windowed-rate math (MetricsHistory derives
+// deltas and rates from these snapshots): an empty histogram must yield
+// clean zeros at every quantile — never NaN or a division artifact.
+TEST(HistogramTest, EmptyQuantilesAreZeroAcrossTheRange) {
+  Histogram h({1.0, 10.0});
+  HistogramSnapshot s = h.Snapshot();
+  for (double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    const double v = s.Quantile(q);
+    EXPECT_DOUBLE_EQ(v, 0.0) << "q=" << q;
+    EXPECT_FALSE(std::isnan(v)) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(s.sum, 0.0);
+  EXPECT_FALSE(std::isnan(s.Mean()));
+}
+
+// A single sample must produce finite, monotone quantiles bracketed by
+// its bucket — the smallest population the rate math ever sees.
+TEST(HistogramTest, SingleSampleQuantilesStayInItsBucket) {
+  Histogram h({10.0, 20.0, 30.0});
+  h.Observe(15.0);
+  HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 1u);
+  double prev = -1.0;
+  for (double q : {0.0, 0.5, 0.9, 1.0}) {
+    const double v = s.Quantile(q);
+    EXPECT_TRUE(std::isfinite(v)) << "q=" << q;
+    EXPECT_GE(v, 10.0) << "q=" << q;  // Bucket (10, 20] lower edge.
+    EXPECT_LE(v, 20.0) << "q=" << q;  // Bucket upper edge.
+    EXPECT_GE(v, prev) << "q=" << q;  // Monotone in q.
+    prev = v;
+  }
+  EXPECT_DOUBLE_EQ(s.Mean(), 15.0);
+}
+
+// A single overflow-bucket sample interpolates between the top finite
+// edge and the observed max — it must never run off to infinity.
+TEST(HistogramTest, SingleOverflowSampleClampsToObservedMax) {
+  Histogram h({1.0, 10.0});
+  h.Observe(500.0);
+  HistogramSnapshot s = h.Snapshot();
+  EXPECT_DOUBLE_EQ(s.Quantile(1.0), 500.0);
+  for (double q : {0.0, 0.5, 0.99}) {
+    const double v = s.Quantile(q);
+    EXPECT_TRUE(std::isfinite(v)) << "q=" << q;
+    EXPECT_GE(v, 10.0) << "q=" << q;
+    EXPECT_LE(v, 500.0) << "q=" << q;
+  }
+}
+
+// A sample below the first edge interpolates from the observed min, not
+// from zero or negative territory.
+TEST(HistogramTest, SingleSampleBelowFirstEdgeUsesObservedMin) {
+  Histogram h({1.0});
+  h.Observe(0.5);
+  HistogramSnapshot s = h.Snapshot();
+  for (double q : {0.0, 0.5, 1.0}) {
+    const double v = s.Quantile(q);
+    EXPECT_GE(v, 0.5) << "q=" << q;
+    EXPECT_LE(v, 1.0) << "q=" << q;
+  }
 }
 
 TEST(HistogramTest, QuantileInterpolatesAndIsMonotonic) {

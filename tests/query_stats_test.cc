@@ -1,7 +1,9 @@
 #include "obs/query_stats.h"
 
+#include <atomic>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -432,6 +434,88 @@ TEST_F(QueryStatsIntegrationTest, DifferentShapesGetDifferentFingerprints) {
   EXPECT_EQ(fp_.query_stats()->shape_count(), 2u);
   // No slow_query_ms set: the slow log stays empty.
   EXPECT_TRUE(fp_.query_stats()->SlowLog().empty());
+}
+
+TEST(QueryStatsStoreTest, RecentLimitKeepsNewestOldestFirst) {
+  QueryStatsStore store;
+  for (int i = 0; i < 10; ++i) {
+    QueryExecution e;
+    e.query = "//q" + std::to_string(i);
+    store.Record(e);
+  }
+  std::vector<QueryExecution> recent = store.Recent(3);
+  ASSERT_EQ(recent.size(), 3u);
+  EXPECT_EQ(recent[0].query, "//q7");  // Newest 3, oldest first.
+  EXPECT_EQ(recent[2].query, "//q9");
+  EXPECT_EQ(store.Recent(0).size(), 0u);
+  EXPECT_EQ(store.Recent(100).size(), 10u);  // Limit past size: all.
+
+  // ToJson(recent_limit) caps both bounded arrays the same way.
+  const std::string json = store.ToJson(2);
+  EXPECT_EQ(json.find("//q7"), std::string::npos);
+  EXPECT_NE(json.find("//q8"), std::string::npos);
+  EXPECT_NE(json.find("//q9"), std::string::npos);
+}
+
+// Run under TSan by the sanitizer CI job: one thread records, one thread
+// resizes the store via SetOptions (shrink + grow, trimming as it goes),
+// and one thread scrapes like the admin endpoint does. The invariant
+// checked after the dust settles: every execution ever recorded is either
+// still in the ring or counted in evictions.ring — trims and
+// displacements must never double- or under-count.
+TEST(QueryStatsStoreTest, EvictionCountsStayConsistentUnderConcurrency) {
+  QueryStatsOptions opts;
+  opts.ring_capacity = 32;
+  opts.max_shapes = 8;
+  QueryStatsStore store(opts);
+
+  constexpr int kRecords = 2000;
+  std::atomic<bool> stop{false};
+  std::thread recorder([&store] {
+    QueryExecution e;
+    e.algorithm = "DPO";
+    for (int i = 0; i < kRecords; ++i) {
+      e.fingerprint = static_cast<uint64_t>(i % 11);
+      e.query = "//r" + std::to_string(i % 11);
+      e.latency_ms = static_cast<double>(i % 5);
+      store.Record(e);
+    }
+  });
+  std::thread resizer([&store, &stop] {
+    QueryStatsOptions small;
+    small.ring_capacity = 4;
+    small.max_shapes = 2;
+    small.slowlog_capacity = 2;
+    QueryStatsOptions big;
+    big.ring_capacity = 64;
+    big.max_shapes = 32;
+    while (!stop.load(std::memory_order_relaxed)) {
+      store.SetOptions(small);
+      store.SetOptions(big);
+    }
+  });
+  std::thread scraper([&store, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)store.ToJson(4);
+      (void)store.Recent(8);
+      (void)store.Evictions();
+    }
+  });
+  recorder.join();
+  stop.store(true, std::memory_order_relaxed);
+  resizer.join();
+  scraper.join();
+
+  const QueryStatsEvictions evictions = store.Evictions();
+  const size_t in_ring = store.Recent().size();
+  EXPECT_EQ(static_cast<uint64_t>(kRecords),
+            evictions.ring + static_cast<uint64_t>(in_ring));
+  uint64_t executions = 0;
+  for (const ShapeStatsSnapshot& s : store.Shapes()) {
+    executions += s.executions;
+  }
+  EXPECT_LE(store.shape_count(), store.options().max_shapes);
+  EXPECT_LE(executions, static_cast<uint64_t>(kRecords));
 }
 
 TEST_F(QueryStatsIntegrationTest, RecentRingSeesEveryExecution) {
