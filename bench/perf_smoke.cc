@@ -7,8 +7,12 @@
 //     the cold run's — the "measurably faster via counters" check, which
 //     holds on a 1-core box where wall-clock comparisons would be noise,
 //   - asserts the answers of cold, warm and cache-off runs are identical,
+//   - runs the same workload sharded (scatter-gather over 3 document-
+//     range shards, DESIGN.md §15), asserts answers AND every execution
+//     counter are byte-identical to the unsharded run, and records both
+//     timings so the baseline diff tracks scatter-gather overhead,
 //   - writes a BENCH_topk.json artifact (--out PATH to move it; default
-//     ./BENCH_topk.json) with both runs' timings, counters, resource
+//     ./BENCH_topk.json) with the runs' timings, counters, resource
 //     usage, and the cold/warm speedup. ci/bench_compare.py diffs that
 //     file against the committed ci/bench_baseline.json and warns — does
 //     not fail — on wall-time regressions.
@@ -18,6 +22,8 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "bench/bench_util.h"
 
@@ -98,11 +104,15 @@ int main(int argc, char** argv) {
   auto& fixture = flexpath::bench_util::GetFixtureMb(1.0);
   const flexpath::Tpq q = fixture.Parse(flexpath::bench_util::kQ3);
   constexpr size_t kK = 50;
+  constexpr size_t kShards = 3;
 
-  // Reference run without any caching.
+  // Reference run without any caching (also the unsharded baseline the
+  // scatter-gather run is diffed against).
+  auto ref_start = std::chrono::steady_clock::now();
   const TopKResult reference = flexpath::bench_util::RunTopK(
       fixture, q, Algorithm::kDpo, kK, flexpath::RankScheme::kStructureFirst,
       /*threads=*/1, CacheTier::kOff);
+  const double reference_ms = MsSince(ref_start);
 
   auto start = std::chrono::steady_clock::now();
   const TopKResult cold = flexpath::bench_util::RunTopK(
@@ -115,6 +125,16 @@ int main(int argc, char** argv) {
       fixture, q, Algorithm::kDpo, kK, flexpath::RankScheme::kStructureFirst,
       /*threads=*/1, CacheTier::kShared);
   const double warm_ms = MsSince(start);
+
+  // Scatter-gather over document-range shards, cache off (sharding
+  // disables the sub-plan cache): answers and counters must be
+  // byte-identical to the unsharded reference; the timing delta is the
+  // scatter-gather overhead the baseline diff watches.
+  start = std::chrono::steady_clock::now();
+  const TopKResult sharded = flexpath::bench_util::RunTopK(
+      fixture, q, Algorithm::kDpo, kK, flexpath::RankScheme::kStructureFirst,
+      /*threads=*/1, CacheTier::kOff, kShards);
+  const double sharded_ms = MsSince(start);
 
   int failures = 0;
   if (warm.counters.cache_step_hits == 0) {
@@ -142,6 +162,37 @@ int main(int argc, char** argv) {
                  AnswerKey(reference).c_str(), AnswerKey(cold).c_str(),
                  AnswerKey(warm).c_str());
     ++failures;
+  }
+  if (AnswerKey(sharded) != AnswerKey(reference)) {
+    std::fprintf(stderr,
+                 "FAIL: sharded answers differ from the unsharded run\n"
+                 "  unsharded: %s\n  sharded  : %s\n",
+                 AnswerKey(reference).c_str(), AnswerKey(sharded).c_str());
+    ++failures;
+  }
+  {
+    std::string mismatch;
+    const flexpath::ExecCounters& a = reference.counters;
+    const flexpath::ExecCounters& b = sharded.counters;
+    std::vector<std::pair<const char*, uint64_t>> ref_fields;
+    a.ForEach([&](const char* name, uint64_t value) {
+      ref_fields.emplace_back(name, value);
+    });
+    size_t i = 0;
+    b.ForEach([&](const char* name, uint64_t value) {
+      if (i < ref_fields.size() && ref_fields[i].second != value) {
+        mismatch += std::string(" ") + name + "=" +
+                    std::to_string(ref_fields[i].second) + "vs" +
+                    std::to_string(value);
+      }
+      ++i;
+    });
+    if (!mismatch.empty()) {
+      std::fprintf(stderr,
+                   "FAIL: sharded run counters diverge from unsharded:%s\n",
+                   mismatch.c_str());
+      ++failures;
+    }
   }
   // Q3 is the deep-relaxation query; if it stops relaxing the cache smoke
   // stops covering the cross-round reuse it exists to watch.
@@ -171,6 +222,11 @@ int main(int argc, char** argv) {
   AppendRunJson(&json, "cold", cold, cold_ms);
   json += ",";
   AppendRunJson(&json, "warm", warm, warm_ms);
+  json += ",\"shards\":" + std::to_string(kShards);
+  json += ",";
+  AppendRunJson(&json, "unsharded", reference, reference_ms);
+  json += ",";
+  AppendRunJson(&json, "sharded", sharded, sharded_ms);
   json += "}";
 
   if (FILE* f = std::fopen(out_path, "w")) {

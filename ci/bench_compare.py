@@ -21,6 +21,8 @@ The committed baseline (ci/bench_baseline.json) was recorded on a quiet
 
 Checked fields (threshold: >20% worse than baseline):
   - cold.elapsed_ms / warm.elapsed_ms  (wall time per run)
+  - unsharded.elapsed_ms / sharded.elapsed_ms
+                                       (scatter-gather overhead)
   - warm_hit_rate                      (cache effectiveness, lower = worse)
 Counter fields are byte-deterministic and covered by tests, not here.
 """
@@ -66,7 +68,7 @@ def main(argv: list[str]) -> int:
         return 1 if strict else 0
 
     findings = 0
-    for run in ("cold", "warm"):
+    for run in ("cold", "warm", "unsharded", "sharded"):
         base = baseline.get(run, {}).get("elapsed_ms")
         cur = current.get(run, {}).get("elapsed_ms")
         if not base or cur is None:

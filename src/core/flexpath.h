@@ -217,9 +217,9 @@ class FlexPath {
   }
 
   /// One JSON object with this instance's cumulative per-query resource
-  /// accounting — query/error counts plus the summed and per-query-mean
-  /// ResourceUsage across every QueryTpq run:
-  ///   {"queries":..,"errors":..,
+  /// accounting — query/error/sharded-query counts plus the summed and
+  /// per-query-mean ResourceUsage across every QueryTpq run:
+  ///   {"queries":..,"errors":..,"sharded_queries":..,
   ///    "usage_total":{"cpu_ms":..,...},"usage_mean":{...}}
   std::string VarzJson() const;
 
@@ -250,6 +250,7 @@ class FlexPath {
   mutable Mutex varz_mu_;
   uint64_t varz_queries_ GUARDED_BY(varz_mu_) = 0;
   uint64_t varz_errors_ GUARDED_BY(varz_mu_) = 0;
+  uint64_t varz_sharded_queries_ GUARDED_BY(varz_mu_) = 0;
   ResourceUsage varz_usage_ GUARDED_BY(varz_mu_);
 };
 

@@ -1,0 +1,69 @@
+#include "shard/merge.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace flexpath {
+
+namespace {
+
+bool AnswerBefore(const RankedAnswer& a, const RankedAnswer& b,
+                  RankScheme scheme) {
+  if (RanksBefore(a.score, b.score, scheme)) return true;
+  if (RanksBefore(b.score, a.score, scheme)) return false;
+  return a.node < b.node;
+}
+
+}  // namespace
+
+size_t ShardKPrime(size_t k, bool single_pass) {
+  if (k == 0 || !single_pass) return std::numeric_limits<size_t>::max();
+  return k;
+}
+
+std::vector<RankedAnswer> MergeShardAnswers(
+    const std::vector<std::vector<RankedAnswer>>& per_shard, size_t k,
+    RankScheme scheme, ShardMergeStats* stats) {
+  const size_t n = per_shard.size();
+  std::vector<size_t> cursor(n, 0);
+
+  // Heap of shard indices; the shard whose next answer ranks first sits
+  // on top. push_heap/pop_heap expose the *largest* element, so the
+  // comparator says "x is worse than y".
+  auto worse = [&](size_t x, size_t y) {
+    return AnswerBefore(per_shard[y][cursor[y]], per_shard[x][cursor[x]],
+                        scheme);
+  };
+  std::vector<size_t> heap;
+  heap.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (!per_shard[i].empty()) heap.push_back(i);
+  }
+  std::make_heap(heap.begin(), heap.end(), worse);
+
+  std::vector<RankedAnswer> merged;
+  while (!heap.empty() && (k == 0 || merged.size() < k)) {
+    std::pop_heap(heap.begin(), heap.end(), worse);
+    const size_t s = heap.back();
+    merged.push_back(per_shard[s][cursor[s]]);
+    if (++cursor[s] < per_shard[s].size()) {
+      std::push_heap(heap.begin(), heap.end(), worse);
+    } else {
+      heap.pop_back();
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->taken.assign(cursor.begin(), cursor.end());
+    if (stats->collect_discarded) {
+      for (size_t i = 0; i < n; ++i) {
+        for (size_t j = cursor[i]; j < per_shard[i].size(); ++j) {
+          stats->discarded.push_back(per_shard[i][j]);
+        }
+      }
+    }
+  }
+  return merged;
+}
+
+}  // namespace flexpath

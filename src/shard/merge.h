@@ -1,0 +1,53 @@
+#ifndef FLEXPATH_SHARD_MERGE_H_
+#define FLEXPATH_SHARD_MERGE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "rank/score.h"
+
+namespace flexpath {
+
+/// Per-shard merge accounting, filled by MergeShardAnswers. `taken[i]`
+/// is how many of shard i's answers made the merged prefix; everything
+/// past that cursor was cut off by early termination. `discarded`
+/// collects those cut answers when requested — the property-test seam
+/// for the K'-bound invariant (no discarded answer may outrank the
+/// global k-th).
+struct ShardMergeStats {
+  std::vector<size_t> taken;
+  std::vector<RankedAnswer> discarded;
+  bool collect_discarded = false;
+};
+
+/// The per-shard candidate bound K': how many answers a shard must
+/// retain so the coordinator can still produce the exact global top k.
+/// For a single-pass evaluation k itself is sound under any total
+/// order — a shard's (k+1)-th local answer is outranked by k local
+/// answers, hence by k global ones (the scatter-gather reading of
+/// Theorem 3 monotonicity: restricting to a shard never improves a
+/// discarded answer's rank). Two cases need the unbounded sentinel
+/// (SIZE_MAX, meaning "keep everything"):
+///  - k == 0: the caller wants the full answer list (the encoded
+///    engine's unpruned retry pass does this);
+///  - multi-round merges (DPO): rounds dedup answers by *first*
+///    incarnation, and a later round's score for the same node is not
+///    bounded by its earlier one once keyword scores enter — so a
+///    truncated round list could silently change which incarnation the
+///    merge keeps. Round lists therefore travel whole.
+size_t ShardKPrime(size_t k, bool single_pass);
+
+/// K-way merges per-shard answer lists — each already sorted by the
+/// finalize order (RanksBefore under `scheme`, ties broken by node id) —
+/// into the global order, stopping after `k` answers (k == 0 merges
+/// everything). Shards are document-disjoint, so no cross-shard dedup is
+/// needed; the heap comparator breaks exact score ties by node id, which
+/// restores global document order and makes the merged prefix
+/// byte-identical to a single-shard sort. `stats` is optional.
+std::vector<RankedAnswer> MergeShardAnswers(
+    const std::vector<std::vector<RankedAnswer>>& per_shard, size_t k,
+    RankScheme scheme, ShardMergeStats* stats = nullptr);
+
+}  // namespace flexpath
+
+#endif  // FLEXPATH_SHARD_MERGE_H_

@@ -1,0 +1,40 @@
+#include "shard/partition.h"
+
+#include <algorithm>
+
+namespace flexpath {
+
+std::vector<ShardRange> PartitionDocs(size_t num_docs, size_t num_shards) {
+  std::vector<ShardRange> ranges;
+  if (num_shards == 0) return ranges;
+  ranges.reserve(num_shards);
+  const size_t quot = num_docs / num_shards;
+  const size_t rem = num_docs % num_shards;
+  DocId begin = 0;
+  for (size_t i = 0; i < num_shards; ++i) {
+    const DocId end =
+        begin + static_cast<DocId>(quot + (i < rem ? 1 : 0));
+    ranges.push_back(ShardRange{begin, end});
+    begin = end;
+  }
+  return ranges;
+}
+
+std::vector<ShardRange> PartitionAtCuts(size_t num_docs,
+                                        std::vector<DocId> cuts) {
+  const DocId total = static_cast<DocId>(num_docs);
+  for (DocId& c : cuts) c = std::min(c, total);
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+  std::vector<ShardRange> ranges;
+  ranges.reserve(cuts.size() + 1);
+  DocId begin = 0;
+  for (DocId c : cuts) {
+    ranges.push_back(ShardRange{begin, c});
+    begin = c;
+  }
+  ranges.push_back(ShardRange{begin, total});
+  return ranges;
+}
+
+}  // namespace flexpath

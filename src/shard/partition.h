@@ -1,0 +1,43 @@
+#ifndef FLEXPATH_SHARD_PARTITION_H_
+#define FLEXPATH_SHARD_PARTITION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "xml/corpus.h"
+
+namespace flexpath {
+
+/// One shard's slice of the corpus: documents [doc_begin, doc_end).
+/// Ranges are contiguous and ordered, so concatenating per-shard scan
+/// lists in shard order reproduces global document order — the property
+/// every byte-identity argument in DESIGN.md §15 leans on.
+struct ShardRange {
+  DocId doc_begin = 0;
+  DocId doc_end = 0;
+
+  size_t size() const { return doc_end - doc_begin; }
+  bool empty() const { return doc_begin == doc_end; }
+  bool Contains(DocId d) const { return d >= doc_begin && d < doc_end; }
+
+  friend bool operator==(const ShardRange&, const ShardRange&) = default;
+};
+
+/// Splits [0, num_docs) into exactly `num_shards` contiguous ranges whose
+/// sizes differ by at most one (the first num_docs % num_shards shards
+/// get the extra document). With num_shards > num_docs the tail shards
+/// are empty — degenerate but valid; the engine treats an empty shard as
+/// a shard that contributes nothing. num_shards == 0 yields no ranges.
+std::vector<ShardRange> PartitionDocs(size_t num_docs, size_t num_shards);
+
+/// Splits [0, num_docs) at the given cut points (any order, duplicates
+/// and out-of-range values tolerated: they are clamped, sorted and
+/// deduped). N cut points yield N+1 ranges, some possibly empty — the
+/// shard-boundary fuzzer drives this with random cuts to prove answers
+/// are invariant under *any* placement of shard boundaries.
+std::vector<ShardRange> PartitionAtCuts(size_t num_docs,
+                                        std::vector<DocId> cuts);
+
+}  // namespace flexpath
+
+#endif  // FLEXPATH_SHARD_PARTITION_H_

@@ -1,0 +1,117 @@
+#include "shard/sharded_corpus.h"
+
+#include <string>
+#include <unordered_map>
+
+namespace flexpath {
+
+namespace {
+
+uint64_t PairKey(TagId a, TagId b) {
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+}  // namespace
+
+ShardedCorpus::ShardedCorpus(const Corpus* corpus,
+                             const TypeHierarchy* hierarchy,
+                             std::vector<ShardRange> ranges)
+    : corpus_(corpus),
+      hierarchy_(hierarchy),
+      source_generation_(corpus->generation()) {
+  shards_.reserve(ranges.size());
+  for (const ShardRange& r : ranges) {
+    Shard s;
+    s.range = r;
+    s.index = std::make_unique<ElementIndex>(corpus_, hierarchy_,
+                                             r.doc_begin, r.doc_end);
+    s.stats = std::make_unique<DocumentStats>(corpus_, r.doc_begin,
+                                              r.doc_end);
+    shards_.push_back(std::move(s));
+  }
+}
+
+size_t ShardedCorpus::ShardOf(DocId d) const {
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (shards_[i].range.Contains(d)) return i;
+  }
+  return shards_.size();
+}
+
+uint64_t ShardedCorpus::MergedTagCount(TagId t) const {
+  uint64_t total = 0;
+  for (const Shard& s : shards_) total += s.stats->TagCount(t);
+  return total;
+}
+
+uint64_t ShardedCorpus::MergedPcCount(TagId t1, TagId t2) const {
+  uint64_t total = 0;
+  for (const Shard& s : shards_) total += s.stats->PcCount(t1, t2);
+  return total;
+}
+
+uint64_t ShardedCorpus::MergedAdCount(TagId t1, TagId t2) const {
+  uint64_t total = 0;
+  for (const Shard& s : shards_) total += s.stats->AdCount(t1, t2);
+  return total;
+}
+
+Status ShardedCorpus::ReconcileWith(const DocumentStats& global) const {
+  // Tag counts: dense vectors, directly comparable slot by slot.
+  for (TagId t = 0; t < static_cast<TagId>(global.NumTags()); ++t) {
+    const uint64_t merged = MergedTagCount(t);
+    if (merged != global.TagCount(t)) {
+      return Status::Internal(
+          "shard statistics diverge from corpus statistics: #(" +
+          corpus_->tags().Name(t) + ") merged=" + std::to_string(merged) +
+          " global=" + std::to_string(global.TagCount(t)));
+    }
+  }
+  // Pair tables: sum shard maps, then require exact equality with the
+  // global map in both directions (a key in one side but not the other
+  // is a divergence too).
+  auto check = [&](const char* name, auto each) -> Status {
+    std::unordered_map<uint64_t, uint64_t> merged;
+    for (const Shard& s : shards_) {
+      each(*s.stats, [&](TagId a, TagId b, uint64_t n) {
+        merged[PairKey(a, b)] += n;
+      });
+    }
+    std::unordered_map<uint64_t, uint64_t> expected;
+    each(global, [&](TagId a, TagId b, uint64_t n) {
+      expected[PairKey(a, b)] += n;
+    });
+    if (merged != expected) {
+      return Status::Internal(
+          std::string("shard statistics diverge from corpus statistics "
+                      "in the ") +
+          name + " table (" + std::to_string(merged.size()) +
+          " merged vs " + std::to_string(expected.size()) +
+          " global entries, or differing counts)");
+    }
+    return Status::OK();
+  };
+  FLEXPATH_RETURN_IF_ERROR(check("#pc", [](const DocumentStats& s, auto fn) {
+    s.ForEachPcCount(fn);
+  }));
+  FLEXPATH_RETURN_IF_ERROR(check("#ad", [](const DocumentStats& s, auto fn) {
+    s.ForEachAdCount(fn);
+  }));
+  FLEXPATH_RETURN_IF_ERROR(
+      check("pc-exists", [](const DocumentStats& s, auto fn) {
+        s.ForEachPcExists(fn);
+      }));
+  FLEXPATH_RETURN_IF_ERROR(
+      check("ad-exists", [](const DocumentStats& s, auto fn) {
+        s.ForEachAdExists(fn);
+      }));
+  return Status::OK();
+}
+
+size_t ShardedCorpus::OutstandingPins() const {
+  size_t total = 0;
+  for (const Shard& s : shards_) total += s.index->OutstandingPins();
+  return total;
+}
+
+}  // namespace flexpath

@@ -1,0 +1,94 @@
+#ifndef FLEXPATH_SHARD_SHARDED_CORPUS_H_
+#define FLEXPATH_SHARD_SHARDED_CORPUS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "shard/partition.h"
+#include "stats/document_stats.h"
+#include "stats/element_index.h"
+#include "xml/corpus.h"
+#include "xml/type_hierarchy.h"
+
+namespace flexpath {
+
+/// A corpus partitioned into contiguous document-range shards, each with
+/// its own ElementIndex and DocumentStats restricted to the shard's
+/// range (DESIGN.md §15). The underlying Corpus is shared, NOT copied:
+/// NodeRefs produced against a shard index are global, so per-shard
+/// partial results join, score and merge without any id remapping, and
+/// the IR engine (whose tf-idf normalization is corpus-wide) is shared
+/// too — a per-shard IR engine would change keyword scores and break
+/// byte-identity with single-shard execution.
+///
+/// The corpus must not change after construction. ShardedCorpus captures
+/// Corpus::generation() at build time; the query layer compares it (and
+/// the global index's) against the live generation and hard-errors on
+/// mismatch rather than serving answers from a stale partition.
+class ShardedCorpus {
+ public:
+  /// Balanced partition into `num_shards` contiguous ranges.
+  ShardedCorpus(const Corpus* corpus, const TypeHierarchy* hierarchy,
+                size_t num_shards)
+      : ShardedCorpus(corpus, hierarchy,
+                      PartitionDocs(corpus->size(), num_shards)) {}
+
+  /// Explicit ranges — must be PartitionDocs/PartitionAtCuts-shaped
+  /// (contiguous, ordered, covering [0, corpus->size())); the
+  /// shard-boundary fuzzer builds these from random cut points.
+  ShardedCorpus(const Corpus* corpus, const TypeHierarchy* hierarchy,
+                std::vector<ShardRange> ranges);
+
+  ShardedCorpus(const ShardedCorpus&) = delete;
+  ShardedCorpus& operator=(const ShardedCorpus&) = delete;
+
+  size_t num_shards() const { return shards_.size(); }
+  const ShardRange& range(size_t i) const { return shards_[i].range; }
+  const ElementIndex& index(size_t i) const { return *shards_[i].index; }
+  const DocumentStats& stats(size_t i) const { return *shards_[i].stats; }
+  const Corpus& corpus() const { return *corpus_; }
+  const TypeHierarchy* hierarchy() const { return hierarchy_; }
+
+  /// Corpus::generation() when the partition was built.
+  uint64_t source_generation() const { return source_generation_; }
+
+  /// Shard index of the document, or num_shards() if out of range.
+  size_t ShardOf(DocId d) const;
+
+  /// Merged statistics: per-shard tables summed — by the reconciliation
+  /// identity these equal the full-corpus DocumentStats figures.
+  uint64_t MergedTagCount(TagId t) const;
+  uint64_t MergedPcCount(TagId t1, TagId t2) const;
+  uint64_t MergedAdCount(TagId t1, TagId t2) const;
+
+  /// Verifies the merge identity against full-corpus statistics: every
+  /// #(t), #pc, #ad, and existence table summed across shards must equal
+  /// the global table exactly — the precondition for using either side
+  /// interchangeably in selectivity estimation. Returns Internal with a
+  /// diagnostic naming the first divergent statistic. Cheap (tag
+  /// alphabets are small); the query layer runs it once per partition.
+  Status ReconcileWith(const DocumentStats& global) const;
+
+  /// Sum of OutstandingPins() across every shard index — scan-list leak
+  /// auditing for the sharded path.
+  size_t OutstandingPins() const;
+
+ private:
+  struct Shard {
+    ShardRange range;
+    std::unique_ptr<ElementIndex> index;
+    std::unique_ptr<DocumentStats> stats;
+  };
+
+  const Corpus* corpus_;
+  const TypeHierarchy* hierarchy_;
+  uint64_t source_generation_ = 0;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace flexpath
+
+#endif  // FLEXPATH_SHARD_SHARDED_CORPUS_H_

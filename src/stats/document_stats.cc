@@ -39,7 +39,12 @@ class TagSet {
 
 }  // namespace
 
-DocumentStats::DocumentStats(const Corpus* corpus) : corpus_(corpus) {
+DocumentStats::DocumentStats(const Corpus* corpus)
+    : DocumentStats(corpus, 0, static_cast<DocId>(corpus->size())) {}
+
+DocumentStats::DocumentStats(const Corpus* corpus, DocId doc_begin,
+                             DocId doc_end)
+    : corpus_(corpus), doc_begin_(doc_begin), doc_end_(doc_end) {
   const size_t num_tags = corpus_->tags().size();
   tag_counts_.assign(num_tags, 0);
   const size_t words = (num_tags + 63) / 64;
@@ -53,7 +58,7 @@ DocumentStats::DocumentStats(const Corpus* corpus) : corpus_(corpus) {
     Frame(NodeId n, size_t w) : node(n), desc(w), child(w) {}
   };
 
-  for (DocId d = 0; d < corpus_->size(); ++d) {
+  for (DocId d = doc_begin_; d < doc_end_; ++d) {
     const Document& doc = corpus_->doc(d);
     std::vector<Frame> stack;
     auto pop = [&]() {

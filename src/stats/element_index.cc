@@ -18,17 +18,40 @@ size_t MergedBytes(const std::vector<NodeRef>& list) {
 
 ElementIndex::ElementIndex(const Corpus* corpus,
                            const TypeHierarchy* hierarchy)
+    : ElementIndex(corpus, hierarchy, 0,
+                   static_cast<DocId>(corpus->size())) {}
+
+ElementIndex::ElementIndex(const Corpus* corpus,
+                           const TypeHierarchy* hierarchy, DocId doc_begin,
+                           DocId doc_end)
     : corpus_(corpus),
       hierarchy_(hierarchy),
+      doc_begin_(doc_begin),
+      doc_end_(doc_end),
+      source_generation_(corpus->generation()),
       merged_(kDefaultMergedBudgetBytes) {
   by_tag_.resize(corpus_->tags().size());
-  for (DocId d = 0; d < corpus_->size(); ++d) {
+  for (DocId d = doc_begin_; d < doc_end_; ++d) {
     const Document& doc = corpus_->doc(d);
     for (NodeId n = 0; n < doc.size(); ++n) {
       const TagId tag = doc.node(n).tag;
       if (tag < by_tag_.size()) by_tag_[tag].push_back(NodeRef{d, n});
     }
   }
+}
+
+size_t ElementIndex::OutstandingPins() const {
+  MutexLock lock(merged_mu_);
+  size_t pinned = 0;
+  merged_.ForEach(
+      [&](const TagId& /*tag*/,
+          const std::shared_ptr<const std::vector<NodeRef>>& list,
+          size_t /*bytes*/) {
+        // The cache itself holds one reference; anything above that is a
+        // live ScanHandle (or a copy of one) still pinning the list.
+        if (list.use_count() > 1) ++pinned;
+      });
+  return pinned;
 }
 
 ScanHandle ElementIndex::Scan(TagId tag) const {

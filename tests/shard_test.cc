@@ -1,0 +1,693 @@
+// Shard subsystem tests (DESIGN.md §15): partitioning, the scatter-
+// gather merge coordinator, and property-based equivalence of sharded
+// execution with the single-shard baseline.
+//   - Partition unit tests: balanced ranges, degenerate shapes (empty
+//     shards, more shards than documents), cut-point clamping.
+//   - Merge coordinator: k-way merge equals a global sort, early
+//     termination accounting, node-id tie-breaks under exact score ties.
+//   - The K'-bound invariant, 1000 seeded trials: no answer discarded by
+//     per-shard truncation or coordinator early termination may outrank
+//     the global k-th answer, and the merged prefix is byte-identical to
+//     the unsharded evaluation.
+//   - Degenerate shardings through the full TopKProcessor: one shard,
+//     single-document shards, N > document count, K > total answers,
+//     explicit partitions with empty shards — all byte-for-byte equal to
+//     the unsharded run.
+//   - Adversarial exact-score ties (a corpus of identical documents):
+//     early termination must not reorder or change the tied prefix.
+//   - Corpus mutation after shard construction hard-errors with a
+//     generation diagnostic (the rebalance-vs-error decision: error).
+//   - Scan-list pin audit: sharded runs (with a type hierarchy, so
+//     merged subtype scans exist) leave zero outstanding pins.
+//   - Statistics reconciliation: per-shard tables sum to the global
+//     DocumentStats, and IR range counts sum to the global count.
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "exec/evaluator.h"
+#include "exec/plan.h"
+#include "exec/topk.h"
+#include "ir/engine.h"
+#include "ir/ft_expr.h"
+#include "query/tpq.h"
+#include "rank/score.h"
+#include "relax/penalty.h"
+#include "relax/schedule.h"
+#include "shard/merge.h"
+#include "shard/partition.h"
+#include "shard/sharded_corpus.h"
+#include "stats/document_stats.h"
+#include "stats/element_index.h"
+#include "tests/test_util.h"
+#include "xml/corpus.h"
+#include "xml/type_hierarchy.h"
+
+namespace flexpath {
+namespace {
+
+// A random corpus plus the index/stats/IR stack built over it.
+struct Rig {
+  Rig(Rng* rng, size_t docs, size_t max_nodes) {
+    for (size_t i = 0; i < docs; ++i) {
+      corpus.Add(testing_util::RandomDocument(rng, corpus.tags(), max_nodes));
+    }
+    index = std::make_unique<ElementIndex>(&corpus);
+    stats = std::make_unique<DocumentStats>(&corpus);
+    ir = std::make_unique<IrEngine>(&corpus);
+  }
+
+  Corpus corpus;
+  std::unique_ptr<ElementIndex> index;
+  std::unique_ptr<DocumentStats> stats;
+  std::unique_ptr<IrEngine> ir;
+};
+
+// The finalize/merge total order: rank order with exact ties broken by
+// node id (= global document order). Mirrors the coordinator's
+// comparator; the tests assert against it independently.
+bool StrictlyOutranks(const RankedAnswer& a, const RankedAnswer& b,
+                      RankScheme scheme) {
+  if (RanksBefore(a.score, b.score, scheme)) return true;
+  if (RanksBefore(b.score, a.score, scheme)) return false;
+  return a.node < b.node;
+}
+
+std::map<std::string, uint64_t> CounterMap(const ExecCounters& c) {
+  std::map<std::string, uint64_t> m;
+  c.ForEach([&](const char* name, uint64_t value) { m[name] = value; });
+  return m;
+}
+
+// Serializes everything result-shaped about a run; two runs are
+// interchangeable iff their fingerprints are equal byte for byte.
+std::string Fingerprint(const TopKResult& r) {
+  std::string s;
+  for (const RankedAnswer& a : r.answers) {
+    s += std::to_string(a.node.doc);
+    s += ":";
+    s += std::to_string(a.node.node);
+    s += "/";
+    s += std::to_string(a.score.ss);
+    s += "+";
+    s += std::to_string(a.score.ks);
+    s += ";";
+  }
+  s += "relaxations=";
+  s += std::to_string(r.relaxations_used);
+  s += ",penalty=";
+  s += std::to_string(r.penalty_applied);
+  s += ",dropped=";
+  s += std::to_string(r.predicates_dropped);
+  r.counters.ForEach([&](const char* name, uint64_t value) {
+    s += ',';
+    s += name;
+    s += '=';
+    s += std::to_string(value);
+  });
+  return s;
+}
+
+// ---------------------------------------------------------------------
+// Partitioning.
+// ---------------------------------------------------------------------
+
+TEST(ShardPartitionTest, BalancedContiguousCoverage) {
+  for (size_t docs = 0; docs <= 13; ++docs) {
+    for (size_t shards = 1; shards <= 8; ++shards) {
+      const std::vector<ShardRange> r = PartitionDocs(docs, shards);
+      ASSERT_EQ(r.size(), shards) << docs << "/" << shards;
+      EXPECT_EQ(r.front().doc_begin, 0u);
+      EXPECT_EQ(r.back().doc_end, docs);
+      size_t min_size = std::numeric_limits<size_t>::max();
+      size_t max_size = 0;
+      for (size_t i = 0; i < r.size(); ++i) {
+        if (i > 0) {
+          EXPECT_EQ(r[i].doc_begin, r[i - 1].doc_end);
+        }
+        EXPECT_LE(r[i].doc_begin, r[i].doc_end);
+        min_size = std::min(min_size, r[i].size());
+        max_size = std::max(max_size, r[i].size());
+        // The extra documents go to the leading shards, so sizes are
+        // non-increasing along the partition.
+        if (i > 0) {
+          EXPECT_LE(r[i].size(), r[i - 1].size());
+        }
+      }
+      EXPECT_LE(max_size - min_size, 1u) << docs << "/" << shards;
+    }
+  }
+}
+
+TEST(ShardPartitionTest, DegenerateShapes) {
+  EXPECT_TRUE(PartitionDocs(10, 0).empty());
+
+  // More shards than documents: the tail shards are empty but valid.
+  const std::vector<ShardRange> r = PartitionDocs(3, 5);
+  ASSERT_EQ(r.size(), 5u);
+  EXPECT_EQ(r[0], (ShardRange{0, 1}));
+  EXPECT_EQ(r[1], (ShardRange{1, 2}));
+  EXPECT_EQ(r[2], (ShardRange{2, 3}));
+  EXPECT_TRUE(r[3].empty());
+  EXPECT_TRUE(r[4].empty());
+
+  // Empty corpus: every shard is empty.
+  for (const ShardRange& range : PartitionDocs(0, 4)) {
+    EXPECT_TRUE(range.empty());
+  }
+}
+
+TEST(ShardPartitionTest, CutPointsClampSortAndDedup) {
+  // No cuts: one range covering everything.
+  EXPECT_EQ(PartitionAtCuts(10, {}),
+            (std::vector<ShardRange>{{0, 10}}));
+
+  EXPECT_EQ(PartitionAtCuts(10, {3, 7}),
+            (std::vector<ShardRange>{{0, 3}, {3, 7}, {7, 10}}));
+
+  // Unsorted, duplicated and out-of-range cuts: clamped to [0, 10],
+  // sorted, deduped — {7,3,3,99,0} becomes cuts {0,3,7,10}, producing a
+  // leading and a trailing empty shard.
+  EXPECT_EQ(PartitionAtCuts(10, {7, 3, 3, 99, 0}),
+            (std::vector<ShardRange>{
+                {0, 0}, {0, 3}, {3, 7}, {7, 10}, {10, 10}}));
+
+  // Empty corpus: everything collapses to empty ranges.
+  for (const ShardRange& range : PartitionAtCuts(0, {5})) {
+    EXPECT_TRUE(range.empty());
+  }
+}
+
+TEST(ShardPartitionTest, ShardOfMapsEveryDocument) {
+  Rng rng(101);
+  Rig rig(&rng, 7, 30);
+  const ShardedCorpus sc(&rig.corpus, nullptr, 3);
+  for (DocId d = 0; d < rig.corpus.size(); ++d) {
+    const size_t s = sc.ShardOf(d);
+    ASSERT_LT(s, sc.num_shards());
+    EXPECT_TRUE(sc.range(s).Contains(d));
+  }
+  EXPECT_EQ(sc.ShardOf(static_cast<DocId>(rig.corpus.size())),
+            sc.num_shards());
+}
+
+// ---------------------------------------------------------------------
+// Merge coordinator.
+// ---------------------------------------------------------------------
+
+TEST(ShardMergeTest, KPrimeContract) {
+  constexpr size_t kUnbounded = std::numeric_limits<size_t>::max();
+  // k == 0 means "the caller wants everything" in either mode.
+  EXPECT_EQ(ShardKPrime(0, /*single_pass=*/true), kUnbounded);
+  EXPECT_EQ(ShardKPrime(0, /*single_pass=*/false), kUnbounded);
+  // Single-pass (SSO/Hybrid): k itself is the sound per-shard bound.
+  EXPECT_EQ(ShardKPrime(5, /*single_pass=*/true), 5u);
+  // Multi-round (DPO): round lists travel whole — truncation could
+  // change which incarnation of a node the dedup keeps.
+  EXPECT_EQ(ShardKPrime(5, /*single_pass=*/false), kUnbounded);
+}
+
+// Property: the k-way merge of document-disjoint sorted shard lists is
+// exactly the first min(k, total) of the globally sorted concatenation,
+// under every rank scheme, including heavy exact-score ties; the
+// cursor/discard accounting is conserved.
+TEST(ShardMergeTest, MergeMatchesGlobalSortProperty) {
+  constexpr RankScheme kSchemes[] = {RankScheme::kStructureFirst,
+                                     RankScheme::kKeywordFirst,
+                                     RankScheme::kCombined};
+  Rng rng(20260809);
+  for (int trial = 0; trial < 300; ++trial) {
+    const RankScheme scheme = kSchemes[trial % 3];
+    const size_t nshards = 1 + rng.Uniform(4);
+    std::vector<std::vector<RankedAnswer>> per_shard(nshards);
+    std::vector<RankedAnswer> all;
+    for (size_t s = 0; s < nshards; ++s) {
+      const size_t count = rng.Uniform(7);
+      for (size_t i = 0; i < count; ++i) {
+        RankedAnswer a;
+        // Documents are shard-disjoint by construction (shard s owns
+        // [10s, 10s+10)); scores come from a tiny set to force ties.
+        a.node.doc = static_cast<DocId>(10 * s + rng.Uniform(10));
+        a.node.node = static_cast<uint32_t>(rng.Uniform(100));
+        a.score.ss = static_cast<double>(rng.Uniform(3));
+        a.score.ks = static_cast<double>(rng.Uniform(2)) * 0.5;
+        per_shard[s].push_back(a);
+        all.push_back(a);
+      }
+      std::sort(per_shard[s].begin(), per_shard[s].end(),
+                [&](const RankedAnswer& a, const RankedAnswer& b) {
+                  return StrictlyOutranks(a, b, scheme);
+                });
+    }
+    std::sort(all.begin(), all.end(),
+              [&](const RankedAnswer& a, const RankedAnswer& b) {
+                return StrictlyOutranks(a, b, scheme);
+              });
+
+    for (size_t k : {size_t{0}, size_t{1}, size_t{3}, size_t{100}}) {
+      ShardMergeStats stats;
+      stats.collect_discarded = true;
+      const std::vector<RankedAnswer> merged =
+          MergeShardAnswers(per_shard, k, scheme, &stats);
+
+      const size_t want = k == 0 ? all.size() : std::min(k, all.size());
+      ASSERT_EQ(merged.size(), want) << "trial " << trial << " k=" << k;
+      for (size_t i = 0; i < want; ++i) {
+        EXPECT_EQ(merged[i].node, all[i].node)
+            << "trial " << trial << " k=" << k << " pos " << i;
+        EXPECT_EQ(merged[i].score, all[i].score)
+            << "trial " << trial << " k=" << k << " pos " << i;
+      }
+
+      ASSERT_EQ(stats.taken.size(), nshards);
+      size_t taken_total = 0;
+      for (size_t s = 0; s < nshards; ++s) {
+        EXPECT_LE(stats.taken[s], per_shard[s].size());
+        taken_total += stats.taken[s];
+      }
+      EXPECT_EQ(taken_total, merged.size());
+      EXPECT_EQ(stats.discarded.size(), all.size() - merged.size());
+      // Early-termination soundness: nothing cut off outranks the
+      // merged k-th answer.
+      if (!merged.empty()) {
+        for (const RankedAnswer& d : stats.discarded) {
+          EXPECT_FALSE(StrictlyOutranks(d, merged.back(), scheme))
+              << "trial " << trial << " k=" << k;
+        }
+      }
+    }
+  }
+}
+
+TEST(ShardMergeTest, ExactTiesBreakByNodeIdInDocumentOrder) {
+  // Three shards, every answer identically scored: the merge must fall
+  // back to node-id order, which restores global document order.
+  std::vector<std::vector<RankedAnswer>> per_shard(3);
+  const AnswerScore tied{2.0, 0.5};
+  for (size_t s = 0; s < 3; ++s) {
+    for (uint32_t i = 0; i < 2; ++i) {
+      per_shard[s].push_back(
+          RankedAnswer{NodeRef{static_cast<DocId>(2 * s + i), 7}, tied});
+    }
+  }
+  ShardMergeStats stats;
+  stats.collect_discarded = true;
+  const std::vector<RankedAnswer> merged =
+      MergeShardAnswers(per_shard, 4, RankScheme::kStructureFirst, &stats);
+  ASSERT_EQ(merged.size(), 4u);
+  for (DocId d = 0; d < 4; ++d) EXPECT_EQ(merged[d].node.doc, d);
+  ASSERT_EQ(stats.discarded.size(), 2u);
+  // The discarded tied answers rank with, not above, the kept k-th.
+  for (const RankedAnswer& d : stats.discarded) {
+    EXPECT_FALSE(
+        StrictlyOutranks(d, merged.back(), RankScheme::kStructureFirst));
+  }
+}
+
+// ---------------------------------------------------------------------
+// The K'-bound invariant, 1000 seeded trials. Random corpora, random
+// queries, random relaxation depth / mode / scheme / k / shard count;
+// the sharded evaluation must return exactly the unsharded prefix
+// (answers, scores, and every counter), and no answer it discarded —
+// via per-shard K' truncation or coordinator early termination — may
+// outrank the global k-th answer.
+// ---------------------------------------------------------------------
+
+TEST(ShardTest, KPrimeBoundInvariantHolds1000Trials) {
+  constexpr RankScheme kSchemes[] = {RankScheme::kStructureFirst,
+                                     RankScheme::kKeywordFirst,
+                                     RankScheme::kCombined};
+  constexpr EvalMode kModes[] = {EvalMode::kExact, EvalMode::kSsoFlat,
+                                 EvalMode::kHybridBuckets};
+  Rng rng(20260810);
+  int trials = 0;
+  for (int outer = 0; outer < 250; ++outer) {
+    Rig rig(&rng, 3, 45);
+    PlanEvaluator evaluator(rig.index.get(), rig.ir.get());
+    for (int inner = 0; inner < 4; ++inner, ++trials) {
+      const Tpq q = testing_util::RandomTpq(&rng, rig.corpus.tags(), 4);
+      PenaltyModel pm(q, rig.stats.get(), rig.ir.get(), Weights{});
+      const std::vector<ScheduleEntry> schedule = BuildSchedule(q, pm);
+      const size_t depth = rng.Uniform(schedule.size() + 1);
+      const Tpq& relaxed = depth == 0 ? q : schedule[depth - 1].relaxed;
+      const std::set<Predicate> dropped =
+          depth == 0 ? std::set<Predicate>{} : schedule[depth - 1].dropped;
+      Result<JoinPlan> plan =
+          JoinPlan::Build(q, relaxed, dropped, pm, Weights{});
+      ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+
+      const EvalMode mode = kModes[trials % 3];
+      const RankScheme scheme = kSchemes[(trials / 3) % 3];
+      const size_t k = rng.Uniform(6);  // 0 disables pruning/truncation.
+      const size_t nshards = 1 + rng.Uniform(4);
+      const std::string label = std::string("trial ") +
+                                std::to_string(trials) +
+                                " depth=" + std::to_string(depth) +
+                                " mode=" + std::to_string(int(mode)) +
+                                " k=" + std::to_string(k) +
+                                " shards=" + std::to_string(nshards);
+
+      ExecCounters serial_ctr;
+      const std::vector<RankedAnswer> global = evaluator.Evaluate(
+          *plan, mode, k, scheme, 0.0, &serial_ctr);
+
+      ShardedCorpus sc(&rig.corpus, nullptr, nshards);
+      ShardEvalContext shard_ctx;
+      shard_ctx.shards = &sc;
+      std::vector<ExecCounters> per_shard_ctr;
+      shard_ctx.per_shard_counters = &per_shard_ctr;
+      std::vector<RankedAnswer> discarded;
+      shard_ctx.discarded = &discarded;
+      ExecCounters sharded_ctr;
+      const std::vector<RankedAnswer> merged = evaluator.Evaluate(
+          *plan, mode, k, scheme, 0.0, &sharded_ctr, nullptr, nullptr,
+          nullptr, nullptr, &shard_ctx);
+
+      // The merged list is the global prefix: everything for kExact
+      // (round lists travel whole) or k == 0, min(k, total) otherwise.
+      const size_t want = (mode == EvalMode::kExact || k == 0)
+                              ? global.size()
+                              : std::min(k, global.size());
+      ASSERT_EQ(merged.size(), want) << label;
+      for (size_t i = 0; i < want; ++i) {
+        ASSERT_EQ(merged[i].node, global[i].node) << label << " pos " << i;
+        ASSERT_EQ(merged[i].score, global[i].score) << label << " pos " << i;
+      }
+      EXPECT_EQ(CounterMap(sharded_ctr), CounterMap(serial_ctr)) << label;
+
+      // Conservation: every global answer is either merged or discarded.
+      EXPECT_EQ(merged.size() + discarded.size(), global.size()) << label;
+      if (global.size() <= want) {
+        EXPECT_TRUE(discarded.empty()) << label;
+      }
+
+      // The invariant itself: a discarded answer never outranks the
+      // global k-th (they rank at or below it, so cutting them cannot
+      // change the top k).
+      if (!merged.empty()) {
+        const RankedAnswer& kth = merged.back();
+        for (const RankedAnswer& d : discarded) {
+          ASSERT_FALSE(StrictlyOutranks(d, kth, scheme))
+              << label << " discarded " << d.node.doc << ":" << d.node.node;
+        }
+      }
+
+      // Per-shard counter attribution: the shard-local work figures sum
+      // to the pass totals (phase-level counters are excluded from this
+      // identity by contract).
+      ASSERT_EQ(per_shard_ctr.size(), nshards) << label;
+      uint64_t probed = 0;
+      uint64_t created = 0;
+      for (const ExecCounters& c : per_shard_ctr) {
+        probed += c.candidates_probed;
+        created += c.tuples_created;
+      }
+      EXPECT_EQ(probed, sharded_ctr.candidates_probed) << label;
+      EXPECT_EQ(created, sharded_ctr.tuples_created) << label;
+    }
+  }
+  EXPECT_EQ(trials, 1000);
+}
+
+// ---------------------------------------------------------------------
+// Degenerate shardings through the full TopKProcessor.
+// ---------------------------------------------------------------------
+
+TEST(ShardTest, DegenerateShardingsMatchUnsharded) {
+  constexpr Algorithm kAlgos[] = {Algorithm::kDpo, Algorithm::kSso,
+                                  Algorithm::kHybrid};
+  Rng rng(8801);
+  Rig rig(&rng, 3, 70);
+  TopKProcessor processor(rig.index.get(), rig.stats.get(), rig.ir.get());
+
+  // Explicit partitions exercising shapes PartitionDocs never produces:
+  // a leading empty shard, interior single-document shards, a trailing
+  // empty shard.
+  const std::vector<std::vector<DocId>> kCutSets = {
+      {0}, {0, 1}, {1, 2}, {3}, {0, 1, 2, 3}};
+  std::vector<std::unique_ptr<ShardedCorpus>> explicit_partitions;
+  for (const std::vector<DocId>& cuts : kCutSets) {
+    explicit_partitions.push_back(std::make_unique<ShardedCorpus>(
+        &rig.corpus, nullptr, PartitionAtCuts(rig.corpus.size(), cuts)));
+  }
+
+  for (int qi = 0; qi < 6; ++qi) {
+    const Tpq q = testing_util::RandomTpq(&rng, rig.corpus.tags(), 4);
+    for (Algorithm algo : kAlgos) {
+      // k = 50 exceeds every possible answer count over 3 documents, so
+      // the run relaxes to exhaustion; k = 2 exercises early cutoff.
+      for (size_t k : {size_t{2}, size_t{50}}) {
+        TopKOptions opts;
+        opts.k = k;
+        opts.num_threads = 1;
+        Result<TopKResult> baseline = processor.Run(q, algo, opts);
+        ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+        const std::string reference = Fingerprint(*baseline);
+
+        // num_shards = 1 (one shard), 3 (single-document shards),
+        // 5 and 16 (more shards than documents: empty tails).
+        for (size_t shards : {size_t{1}, size_t{3}, size_t{5}, size_t{16}}) {
+          opts.num_shards = shards;
+          Result<TopKResult> sharded = processor.Run(q, algo, opts);
+          ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+          const std::string label =
+              std::string("q") + std::to_string(qi) + " " +
+              AlgorithmName(algo) + " k=" + std::to_string(k) +
+              " shards=" + std::to_string(shards);
+          EXPECT_EQ(Fingerprint(*sharded), reference) << label;
+          // Empty shards report, and report zero work and zero answers.
+          ASSERT_EQ(sharded->shards.size(), shards) << label;
+          for (const TopKResult::ShardStats& s : sharded->shards) {
+            if (s.doc_begin == s.doc_end) {
+              EXPECT_EQ(s.answers, 0u) << label;
+              EXPECT_EQ(s.tuples_created, 0u) << label;
+            }
+          }
+        }
+        opts.num_shards = 0;
+
+        for (size_t pi = 0; pi < explicit_partitions.size(); ++pi) {
+          Result<TopKResult> sharded = processor.RunWithShards(
+              q, algo, opts, explicit_partitions[pi].get());
+          ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+          EXPECT_EQ(Fingerprint(*sharded), reference)
+              << "q" << qi << " " << AlgorithmName(algo)
+              << " k=" << k << " cutset " << pi;
+        }
+      }
+    }
+  }
+}
+
+// Adversarial exact-score ties: a corpus of identical documents makes
+// every answer tie exactly across shard boundaries, so any unsound
+// early termination or tie-handling in the coordinator would change
+// which documents survive the cut. Everything must stay byte-identical
+// to the unsharded run.
+TEST(ShardTest, AdversarialScoreTiesStayByteIdentical) {
+  Corpus corpus;
+  for (int i = 0; i < 8; ++i) {
+    // Re-seeding per document reproduces the identical document each
+    // time (interning is idempotent, so the dict is unchanged too).
+    Rng doc_rng(555);
+    corpus.Add(testing_util::RandomDocument(&doc_rng, corpus.tags(), 50));
+  }
+  ElementIndex index(&corpus);
+  DocumentStats stats(&corpus);
+  IrEngine ir(&corpus);
+  TopKProcessor processor(&index, &stats, &ir);
+
+  constexpr Algorithm kAlgos[] = {Algorithm::kDpo, Algorithm::kSso,
+                                  Algorithm::kHybrid};
+  Rng rng(556);
+  for (int qi = 0; qi < 10; ++qi) {
+    const Tpq q = testing_util::RandomTpq(&rng, corpus.tags(), 4);
+    for (Algorithm algo : kAlgos) {
+      for (size_t k : {size_t{1}, size_t{4}}) {
+        TopKOptions opts;
+        opts.k = k;
+        opts.num_threads = 1;
+        Result<TopKResult> baseline = processor.Run(q, algo, opts);
+        ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+        const std::string reference = Fingerprint(*baseline);
+        // With k < 8 identical documents, the cut necessarily lands
+        // inside a tie group whenever there are any answers at all.
+        for (size_t shards : {size_t{2}, size_t{3}, size_t{8}}) {
+          opts.num_shards = shards;
+          Result<TopKResult> sharded = processor.Run(q, algo, opts);
+          ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+          EXPECT_EQ(Fingerprint(*sharded), reference)
+              << "q" << qi << " " << AlgorithmName(algo)
+              << " k=" << k << " shards=" << shards;
+        }
+        opts.num_shards = 0;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Corpus mutation after shard construction.
+// ---------------------------------------------------------------------
+
+// Regression for the Corpus::Add-after-sharding decision: the partition
+// hard-errors (rather than silently rebalancing) with a diagnostic
+// naming both generations. Rebalancing would only hide the real
+// problem — the processor's global index is equally stale.
+TEST(ShardTest, CorpusAddAfterShardingHardErrors) {
+  Rng rng(3301);
+  Rig rig(&rng, 4, 40);
+  TopKProcessor processor(rig.index.get(), rig.stats.get(), rig.ir.get());
+  const Tpq q = testing_util::RandomTpq(&rng, rig.corpus.tags(), 3);
+
+  TopKOptions opts;
+  opts.k = 5;
+  opts.num_threads = 1;
+  opts.num_shards = 2;
+  Result<TopKResult> before = processor.Run(q, Algorithm::kHybrid, opts);
+  ASSERT_TRUE(before.ok()) << before.status().ToString();
+
+  rig.corpus.Add(
+      testing_util::RandomDocument(&rng, rig.corpus.tags(), 40));
+
+  Result<TopKResult> after = processor.Run(q, Algorithm::kHybrid, opts);
+  ASSERT_FALSE(after.ok());
+  EXPECT_EQ(after.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(after.status().message().find("stale"), std::string::npos)
+      << after.status().ToString();
+  EXPECT_NE(after.status().message().find("generation"), std::string::npos)
+      << after.status().ToString();
+
+  // The same guard covers caller-owned partitions through RunWithShards.
+  Rig fresh(&rng, 3, 40);
+  TopKProcessor fresh_processor(fresh.index.get(), fresh.stats.get(),
+                                fresh.ir.get());
+  ShardedCorpus partition(&fresh.corpus, nullptr, 2);
+  ASSERT_TRUE(fresh_processor
+                  .RunWithShards(q, Algorithm::kSso, TopKOptions{},
+                                 &partition)
+                  .ok());
+  fresh.corpus.Add(
+      testing_util::RandomDocument(&rng, fresh.corpus.tags(), 40));
+  Result<TopKResult> stale = fresh_processor.RunWithShards(
+      q, Algorithm::kSso, TopKOptions{}, &partition);
+  ASSERT_FALSE(stale.ok());
+  EXPECT_EQ(stale.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(stale.status().message().find("generation"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Merged-scan pin audit.
+// ---------------------------------------------------------------------
+
+// With a type hierarchy, shard indexes build merged subtype scan lists
+// behind reference-counted handles. After a sharded run returns, every
+// handle must be released: outstanding pins return to zero on every
+// shard index and on the global index.
+TEST(ShardTest, PinCountsReturnToZeroAfterShardedRuns) {
+  Rng rng(7701);
+  Corpus corpus;
+  for (int i = 0; i < 6; ++i) {
+    corpus.Add(testing_util::RandomDocument(&rng, corpus.tags(), 60));
+  }
+  TypeHierarchy hierarchy;
+  // Subtype chains over the random-document alphabet so that scans of
+  // the supertypes go through the merged-scan path.
+  ASSERT_TRUE(hierarchy
+                  .AddSubtype(corpus.tags()->Intern("a"),
+                              corpus.tags()->Intern("b"))
+                  .ok());
+  ASSERT_TRUE(hierarchy
+                  .AddSubtype(corpus.tags()->Intern("d"),
+                              corpus.tags()->Intern("e"))
+                  .ok());
+  ElementIndex index(&corpus, &hierarchy);
+  DocumentStats stats(&corpus);
+  IrEngine ir(&corpus);
+  TopKProcessor processor(&index, &stats, &ir);
+  ShardedCorpus sharded(&corpus, &hierarchy, 3);
+
+  constexpr Algorithm kAlgos[] = {Algorithm::kDpo, Algorithm::kSso,
+                                  Algorithm::kHybrid};
+  TopKOptions opts;
+  opts.k = 5;
+  opts.num_threads = 1;
+  for (int qi = 0; qi < 12; ++qi) {
+    const Tpq q = testing_util::RandomTpq(&rng, corpus.tags(), 4);
+    const Algorithm algo = kAlgos[qi % 3];
+    Result<TopKResult> unsharded =
+        processor.RunWithShards(q, algo, opts, nullptr);
+    ASSERT_TRUE(unsharded.ok()) << unsharded.status().ToString();
+    Result<TopKResult> result =
+        processor.RunWithShards(q, algo, opts, &sharded);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(Fingerprint(*result), Fingerprint(*unsharded)) << "q" << qi;
+    EXPECT_EQ(sharded.OutstandingPins(), 0u) << "q" << qi;
+    EXPECT_EQ(index.OutstandingPins(), 0u) << "q" << qi;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Statistics reconciliation.
+// ---------------------------------------------------------------------
+
+TEST(ShardTest, MergedStatisticsEqualGlobalStatistics) {
+  Rng rng(4401);
+  Rig rig(&rng, 9, 50);
+  const ShardedCorpus sc(&rig.corpus, nullptr, 4);
+
+  // The merge identity holds against the full-corpus tables.
+  ASSERT_TRUE(sc.ReconcileWith(*rig.stats).ok());
+
+  const char* kTags[] = {"a", "b", "c", "d", "e", "f"};
+  std::vector<TagId> ids;
+  for (const char* t : kTags) ids.push_back(rig.corpus.tags()->Intern(t));
+  for (TagId t : ids) {
+    EXPECT_EQ(sc.MergedTagCount(t), rig.stats->TagCount(t));
+    for (TagId u : ids) {
+      EXPECT_EQ(sc.MergedPcCount(t, u), rig.stats->PcCount(t, u));
+      EXPECT_EQ(sc.MergedAdCount(t, u), rig.stats->AdCount(t, u));
+    }
+  }
+
+  // Reconciling against statistics of a different corpus slice must
+  // fail with a diagnostic naming the divergent statistic.
+  const DocumentStats partial(&rig.corpus, 0, 1);
+  const Status divergent = sc.ReconcileWith(partial);
+  ASSERT_FALSE(divergent.ok());
+  EXPECT_FALSE(divergent.message().empty());
+}
+
+TEST(ShardTest, IrRangeCountsSumToGlobalCount) {
+  Rng rng(4402);
+  Rig rig(&rng, 8, 60);
+  // "red" is in RandomDocument's vocabulary, so the contains result is
+  // non-trivial with high probability.
+  const std::shared_ptr<const ContainsResult> contains =
+      rig.ir->Evaluate(FtExpr::Term("red"));
+  ASSERT_NE(contains, nullptr);
+
+  const std::vector<ShardRange> ranges =
+      PartitionDocs(rig.corpus.size(), 3);
+  const char* kTags[] = {"a", "b", "c", "d", "e", "f"};
+  for (const char* name : kTags) {
+    const TagId t = rig.corpus.tags()->Intern(name);
+    size_t summed = 0;
+    for (const ShardRange& r : ranges) {
+      summed += contains->CountWithTagInRange(t, r.doc_begin, r.doc_end);
+    }
+    EXPECT_EQ(summed, contains->CountWithTag(t)) << name;
+  }
+}
+
+}  // namespace
+}  // namespace flexpath
