@@ -22,6 +22,7 @@
 #include "ir/tokenizer.h"
 #include "query/tpq.h"
 #include "query/xpath_parser.h"
+#include "rank/scheme_registry.h"
 #include "rank/score.h"
 #include "stats/document_stats.h"
 #include "stats/element_index.h"
@@ -134,6 +135,19 @@ class FlexPath {
   /// Analyze() and the static_prune path consult. Fields are null
   /// before Build() (except the tag dictionary).
   AnalyzerContext analyzer_context() const;
+
+  /// The score-algebra certificate of `scheme` (flexcheck v2, DESIGN.md
+  /// §16): the four statically proved/refuted properties — relaxation
+  /// monotonicity, order invariance, truncation safety, cache exactness
+  /// — plus the optimization directives the engine derives from them.
+  /// NotFound for a scheme value the registry has never seen. Corpus
+  /// independent; works before Build().
+  Result<SchemeCertificate> CertifyScheme(RankScheme scheme) const;
+
+  /// JSON array with the certificate of every registered scheme (the
+  /// CLI --certify payload, uploaded as a CI artifact). Process-wide,
+  /// like the registry itself.
+  static std::string SchemeCertificatesJson();
 
   // Component access for advanced use (benchmarks, tests).
   const Corpus& corpus() const { return corpus_; }

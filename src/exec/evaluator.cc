@@ -1,6 +1,7 @@
 #include "exec/evaluator.h"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <functional>
 #include <limits>
@@ -10,6 +11,7 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "rank/scheme_registry.h"
 #include "shard/merge.h"
 
 namespace flexpath {
@@ -184,17 +186,27 @@ ResourceUsage UsageFromCounters(const ExecCounters& c) {
 }
 
 void ExecCounters::Add(const ExecCounters& other) {
-  plan_passes += other.plan_passes;
-  candidates_probed += other.candidates_probed;
-  tuples_created += other.tuples_created;
-  tuples_pruned += other.tuples_pruned;
-  score_sorts += other.score_sorts;
-  score_sorted_items += other.score_sorted_items;
-  buckets_peak = std::max(buckets_peak, other.buckets_peak);
-  rounds_pruned_static += other.rounds_pruned_static;
-  cache_step_hits += other.cache_step_hits;
-  cache_step_misses += other.cache_step_misses;
-  tuples_excluded += other.tuples_excluded;
+  // Zip the two VisitFields traversals: both walk in declaration order,
+  // so src[i] is the `other` field matching this object's i-th field.
+  std::array<const uint64_t*, kFieldCount> src{};
+  size_t filled = 0;
+  VisitFields(other, [&](const char* /*name*/, const uint64_t& value,
+                         Agg /*agg*/) {
+    assert(filled < kFieldCount);
+    src[filled++] = &value;
+  });
+  size_t applied = 0;
+  VisitFields(*this, [&](const char* /*name*/, uint64_t& value, Agg agg) {
+    assert(applied < filled);
+    const uint64_t s = *src[applied++];
+    value = agg == Agg::kMax ? std::max(value, s) : value + s;
+  });
+  // The differential half of the accounting lint: the static_assert in
+  // the header pins the field count, this pins the visitor to it.
+  assert(filled == kFieldCount && applied == kFieldCount &&
+         "ExecCounters::VisitFields does not visit every field");
+  (void)filled;
+  (void)applied;
 }
 
 std::vector<RankedAnswer> PlanEvaluator::Evaluate(
@@ -244,10 +256,18 @@ std::vector<RankedAnswer> PlanEvaluator::Evaluate(
   }
 
   const bool use_optionals = mode != EvalMode::kExact;
+  // Threshold pruning runs only when the scheme's certificate proves it
+  // sound (FX301/FX302, DESIGN.md §16): the bound arithmetic below is in
+  // ss units with an optimistic keyword bonus of prune_ks_factor x the
+  // plan's maximum keyword mass (0 for structure-first, 1 for combined;
+  // keyword-first carries no certificate license and never prunes).
+  // Unknown scheme values — impossible through TopKProcessor, which
+  // validates up front — fall back to the unpruned exact path.
+  const SchemeCertificate* cert = SchemeRegistry::Global().Certificate(scheme);
   const bool prune =
-      k > 0 && use_optionals && scheme != RankScheme::kKeywordFirst;
+      k > 0 && use_optionals && cert != nullptr && cert->threshold_pruning;
   const double ks_bonus =
-      scheme == RankScheme::kCombined ? plan.max_keyword_score() : 0.0;
+      prune ? cert->prune_ks_factor * plan.max_keyword_score() : 0.0;
   const int dist_step = plan.distinguished_step();
 
   // One tuple list per shard; the serial path is the one-part case,
@@ -845,7 +865,11 @@ std::vector<RankedAnswer> PlanEvaluator::Evaluate(
     for (size_t p = 0; p < nshards; ++p) {
       per_shard[p] = finalize_part(parts[p]);
     }
-    const size_t kprime = ShardKPrime(k, /*single_pass=*/use_optionals);
+    // K'-truncation is licensed by the certificate's truncation-safety
+    // verdict (FX303); without it every per-shard answer travels whole.
+    const size_t kprime =
+        ShardKPrime(k, /*single_pass=*/use_optionals,
+                    cert != nullptr && cert->truncation_safe.holds);
     for (size_t p = 0; p < nshards; ++p) {
       if (per_shard[p].size() > kprime) {
         if (shard->discarded != nullptr) {

@@ -32,27 +32,58 @@ struct ExecCounters {
   uint64_t cache_step_misses = 0;  ///< Plan steps computed while caching.
   uint64_t tuples_excluded = 0;    ///< Tuples dropped: answer already known.
 
-  /// Accumulates `other` into this: sums every count, maxes buckets_peak.
+  /// How a field folds when counters from parallel chunks / shards /
+  /// rounds are combined: totals sum, high-water marks max.
+  enum class Agg : uint8_t { kSum, kMax };
+
+  /// Must equal the number of fields above; the static_assert below
+  /// pins sizeof to it, so adding a field without updating this (and
+  /// VisitFields) fails the build instead of drifting silently.
+  static constexpr size_t kFieldCount = 11;
+
+  /// Reflection visitor: calls fn(name, field, agg) for every counter
+  /// field of `self`, in declaration order — the single source of truth
+  /// for the field list. Add(), ForEach() export (trace annotations,
+  /// bench JSON lines, metrics) and the accounting-lint test all iterate
+  /// through it, so a field listed here aggregates and exports
+  /// automatically, everywhere.
+  template <typename Self, typename Fn>
+  static void VisitFields(Self& self, Fn&& fn) {
+    fn("plan_passes", self.plan_passes, Agg::kSum);
+    fn("candidates_probed", self.candidates_probed, Agg::kSum);
+    fn("tuples_created", self.tuples_created, Agg::kSum);
+    fn("tuples_pruned", self.tuples_pruned, Agg::kSum);
+    fn("score_sorts", self.score_sorts, Agg::kSum);
+    fn("score_sorted_items", self.score_sorted_items, Agg::kSum);
+    fn("buckets_peak", self.buckets_peak, Agg::kMax);
+    fn("rounds_pruned_static", self.rounds_pruned_static, Agg::kSum);
+    fn("cache_step_hits", self.cache_step_hits, Agg::kSum);
+    fn("cache_step_misses", self.cache_step_misses, Agg::kSum);
+    fn("tuples_excluded", self.tuples_excluded, Agg::kSum);
+  }
+
+  /// Accumulates `other` into this through VisitFields: sums every
+  /// kSum field, maxes every kMax field (buckets_peak). Every combine
+  /// path — parallel chunk merge, shard union, round totals — goes
+  /// through here, so a field cannot be aggregated in one path and
+  /// dropped in another.
   void Add(const ExecCounters& other);
 
-  /// Calls fn(name, value) for every field, in declaration order — the
-  /// single source of truth for exporting counters (trace annotations,
-  /// bench JSON lines, metrics).
+  /// Calls fn(name, value) for every field, in declaration order.
   template <typename Fn>
   void ForEach(Fn&& fn) const {
-    fn("plan_passes", plan_passes);
-    fn("candidates_probed", candidates_probed);
-    fn("tuples_created", tuples_created);
-    fn("tuples_pruned", tuples_pruned);
-    fn("score_sorts", score_sorts);
-    fn("score_sorted_items", score_sorted_items);
-    fn("buckets_peak", buckets_peak);
-    fn("rounds_pruned_static", rounds_pruned_static);
-    fn("cache_step_hits", cache_step_hits);
-    fn("cache_step_misses", cache_step_misses);
-    fn("tuples_excluded", tuples_excluded);
+    VisitFields(*this, [&fn](const char* name, const uint64_t& value,
+                             Agg /*agg*/) { fn(name, value); });
   }
 };
+
+// The accounting lint (see VisitFields): a new uint64_t field changes
+// sizeof, failing this until kFieldCount — and, per the runtime check in
+// Add(), the visitor — covers it.
+static_assert(sizeof(ExecCounters) ==
+                  ExecCounters::kFieldCount * sizeof(uint64_t),
+              "ExecCounters field added/removed: update kFieldCount and "
+              "VisitFields so aggregation and export stay complete");
 
 /// Projects work counters into the ResourceUsage vocabulary (tuples
 /// scanned/produced, cache hits/misses, rounds, and a byte estimate:

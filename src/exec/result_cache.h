@@ -45,7 +45,11 @@ struct CachedStepResult {
 /// tuple set depends on beyond the plan prefix itself: the corpus
 /// generation (invalidation), the eval mode, the rank scheme and the
 /// pruning k (both feed the threshold bound in encoded modes; kExact
-/// passes prune_k = 0 since it never prunes).
+/// passes prune_k = 0 since it never prunes). Keying on (scheme, k) is
+/// exact only because cached tuples are pure functions of (ss, ks) — the
+/// cache-exactness property (FX304) the scheme's SchemeCertificate must
+/// prove; topk.cc leaves the cache off for any scheme whose certificate
+/// refutes it (DESIGN.md §16).
 uint64_t StepCacheKey(uint64_t step_fingerprint, uint64_t corpus_generation,
                       uint8_t mode, uint8_t scheme, uint64_t prune_k);
 

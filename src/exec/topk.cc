@@ -7,10 +7,12 @@
 #include <unordered_set>
 
 #include "analysis/analyzer.h"
+#include "analysis/score_algebra.h"
 #include "common/log.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
 #include "obs/flight_recorder.h"
+#include "rank/scheme_registry.h"
 #include "relax/schedule.h"
 
 namespace flexpath {
@@ -170,6 +172,19 @@ Result<TopKResult> TopKProcessor::RunWithShards(const Tpq& q, Algorithm algo,
     return Status::InvalidArgument(
         "query has contains predicates but no IR engine is attached");
   }
+  // Every optimization below runs on the scheme's certificate; a value
+  // the registry has never seen has no certificate and cannot execute.
+  // (Certified custom schemes come from SchemeRegistry::Register, which
+  // refuses algebras the certifier refutes — DESIGN.md §16.)
+  const SchemeCertificate* cert =
+      SchemeRegistry::Global().Certificate(opts.scheme);
+  if (cert == nullptr) {
+    return Status::InvalidArgument(
+        "unknown rank scheme value " +
+        std::to_string(static_cast<unsigned>(opts.scheme)) +
+        "; register custom schemes through SchemeRegistry::Register so "
+        "the certifier can prove the optimizations sound");
+  }
 
   const auto start = std::chrono::steady_clock::now();
   // Coordinator CPU; pool-worker CPU is measured at task boundaries and
@@ -198,6 +213,23 @@ Result<TopKResult> TopKProcessor::RunWithShards(const Tpq& q, Algorithm algo,
         "shards",
         static_cast<uint64_t>(shards != nullptr ? shards->num_shards() : 0));
   }
+  // A sharded run bypasses the sub-plan result cache (entries key
+  // whole-corpus tuple lists — see RunDpo/RunEncoded). The downgrade
+  // used to be silent; surface it as the FX310 advisory, a counter, and
+  // a trace annotation so "why is my cache cold" has an answer.
+  if (shards != nullptr && opts.result_cache.tier != CacheTier::kOff) {
+    static Counter* m_cache_off_sharded =
+        MetricsRegistry::Global().counter("query.cache_disabled_sharded");
+    m_cache_off_sharded->Inc();
+    FLEXPATH_LOG_WARN(
+        "exec", "result cache disabled for sharded run",
+        {"code", std::string(kDiagCacheDisabledSharded)},
+        {"tier_requested", CacheTierName(opts.result_cache.tier)},
+        {"shards", static_cast<uint64_t>(shards->num_shards())});
+    if (trace != nullptr) {
+      collector->current()->Annotate("cache_disabled_sharded", uint64_t{1});
+    }
+  }
 
   Result<TopKResult> result = [&]() -> Result<TopKResult> {
     Span pm_span(trace, "penalty_model");
@@ -205,13 +237,13 @@ Result<TopKResult> TopKProcessor::RunWithShards(const Tpq& q, Algorithm algo,
     pm_span.Close();
     switch (algo) {
       case Algorithm::kDpo:
-        return RunDpo(q, opts, pm, trace, pool, shards);
+        return RunDpo(q, opts, *cert, pm, trace, pool, shards);
       case Algorithm::kSso:
-        return RunEncoded(q, opts, pm, EvalMode::kSsoFlat, trace, pool,
+        return RunEncoded(q, opts, *cert, pm, EvalMode::kSsoFlat, trace, pool,
                           shards);
       case Algorithm::kHybrid:
-        return RunEncoded(q, opts, pm, EvalMode::kHybridBuckets, trace, pool,
-                          shards);
+        return RunEncoded(q, opts, *cert, pm, EvalMode::kHybridBuckets, trace,
+                          pool, shards);
     }
     return Status::InvalidArgument("unknown algorithm");
   }();
@@ -331,6 +363,7 @@ Result<TopKResult> TopKProcessor::RunWithShards(const Tpq& q, Algorithm algo,
 
 Result<TopKResult> TopKProcessor::RunDpo(const Tpq& q,
                                          const TopKOptions& opts,
+                                         const SchemeCertificate& cert,
                                          const PenaltyModel& pm,
                                          TraceCollector* trace,
                                          ThreadPool* pool,
@@ -367,10 +400,13 @@ Result<TopKResult> TopKProcessor::RunDpo(const Tpq& q,
   schedule_span.Annotate("entries", static_cast<uint64_t>(schedule.size()));
   schedule_span.Close();
 
-  // Stopping rules per scheme (Section 5.1): structure-first stops as
-  // soon as K answers exist; keyword-first must evaluate every
-  // relaxation; combined keeps going until the structural score falls
-  // below (K-th round's score − m), m = total contains weight.
+  // Stopping rules (Section 5.1), read from the scheme's certificate:
+  // kAtK stops as soon as K answers exist (structure-first: relaxing
+  // only lowers the primary key); kPenaltyMargin keeps going until the
+  // best achievable key falls below (K-th round's score − margin),
+  // margin = stop_margin_factor × m with m the total contains weight
+  // (combined: factor 1); kExhaustive evaluates every relaxation
+  // (keyword-first: no provable bound on future rounds).
   std::unordered_set<NodeRef, NodeRefHash> seen;
   double stop_below = -std::numeric_limits<double>::infinity();
   const double base = BaseStructuralScore(q, opts.weights);
@@ -399,8 +435,13 @@ Result<TopKResult> TopKProcessor::RunDpo(const Tpq& q,
   EvalCacheContext cache_ctx;
   const EvalCacheContext* cache = nullptr;
   // Sharded runs skip the cache entirely: entries key whole-corpus tuple
-  // lists, which a per-shard pipeline neither produces nor consumes.
-  if (opts.result_cache.tier != CacheTier::kOff && shards == nullptr) {
+  // lists, which a per-shard pipeline neither produces nor consumes
+  // (surfaced as FX310 by RunWithShards). Cache exactness itself is a
+  // certified property (FX304): a scheme whose ranking is not provably a
+  // pure function of (ss, ks) may not reuse kExact entries, so it runs
+  // uncached rather than approximately.
+  if (opts.result_cache.tier != CacheTier::kOff && shards == nullptr &&
+      cert.cache_exact.holds) {
     run_cache.emplace(opts.result_cache.run_budget_bytes);
     cache_ctx.run = &*run_cache;
     if (opts.result_cache.tier == CacheTier::kShared) {
@@ -532,12 +573,12 @@ Result<TopKResult> TopKProcessor::RunDpo(const Tpq& q,
       trace->Adopt(std::move(out.span));
     }
     const bool have_k = result.answers.size() >= opts.k;
-    if (opts.scheme == RankScheme::kStructureFirst && have_k) return true;
-    if (opts.scheme == RankScheme::kCombined && have_k &&
+    if (cert.stop_rule == DpoStopRule::kAtK && have_k) return true;
+    if (cert.stop_rule == DpoStopRule::kPenaltyMargin && have_k &&
         stop_below == -std::numeric_limits<double>::infinity()) {
-      stop_below = base - round_penalty(round) - m;
+      stop_below = base - round_penalty(round) - cert.stop_margin_factor * m;
     }
-    // keyword-first: run every round.
+    // kExhaustive (e.g. keyword-first): run every round.
     return false;
   };
 
@@ -556,7 +597,7 @@ Result<TopKResult> TopKProcessor::RunDpo(const Tpq& q,
         std::min(wave, schedule.size() + 1 - next_round);
     if (wave_n == 1 || pool == nullptr) {
       const size_t round = next_round;
-      if (opts.scheme == RankScheme::kCombined &&
+      if (cert.stop_rule == DpoStopRule::kPenaltyMargin &&
           base - round_penalty(round) < stop_below) {
         break;
       }
@@ -622,7 +663,7 @@ Result<TopKResult> TopKProcessor::RunDpo(const Tpq& q,
       size_t merged = 0;
       for (size_t i = 0; i < wave_n && !done; ++i) {
         const size_t round = next_round + i;
-        if (opts.scheme == RankScheme::kCombined &&
+        if (cert.stop_rule == DpoStopRule::kPenaltyMargin &&
             base - round_penalty(round) < stop_below) {
           done = true;
           break;
@@ -660,6 +701,7 @@ Result<TopKResult> TopKProcessor::RunDpo(const Tpq& q,
 
 Result<TopKResult> TopKProcessor::RunEncoded(const Tpq& q,
                                              const TopKOptions& opts,
+                                             const SchemeCertificate& cert,
                                              const PenaltyModel& pm,
                                              EvalMode mode,
                                              TraceCollector* trace,
@@ -694,8 +736,9 @@ Result<TopKResult> TopKProcessor::RunEncoded(const Tpq& q,
   // adding the next-cheapest relaxation while the estimate is short of K.
   Span estimate_span(trace, "selectivity_estimate");
   size_t encoded = 0;
-  if (opts.scheme == RankScheme::kKeywordFirst) {
-    // Keyword-first: any structural score can reach the top-K, so every
+  if (cert.stop_rule == DpoStopRule::kExhaustive) {
+    // No provable bound on what later relaxations contribute (e.g.
+    // keyword-first: any structural score can reach the top-K), so every
     // relaxation must be encoded (Section 5.1).
     encoded = schedule.size();
   } else {
@@ -751,9 +794,11 @@ Result<TopKResult> TopKProcessor::RunEncoded(const Tpq& q,
   std::optional<ResultCache> run_cache;
   EvalCacheContext cache_ctx;
   const EvalCacheContext* cache = nullptr;
-  // As in RunDpo: sharded runs skip the cache — entries key whole-corpus
-  // tuple lists.
-  if (opts.result_cache.tier != CacheTier::kOff && shards == nullptr) {
+  // As in RunDpo: sharded runs skip the cache (entries key whole-corpus
+  // tuple lists; FX310), and so do schemes whose certificate refutes
+  // cache exactness (FX304).
+  if (opts.result_cache.tier != CacheTier::kOff && shards == nullptr &&
+      cert.cache_exact.holds) {
     run_cache.emplace(opts.result_cache.run_budget_bytes);
     cache_ctx.run = &*run_cache;
     if (opts.result_cache.tier == CacheTier::kShared) {

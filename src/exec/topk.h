@@ -24,6 +24,8 @@
 
 namespace flexpath {
 
+struct SchemeCertificate;  // analysis/score_algebra.h
+
 /// The three top-K evaluation algorithms of Section 5.
 enum class Algorithm : uint8_t {
   kDpo,     ///< Dynamic Penalty Order: evaluate, then relax one step at a
@@ -66,6 +68,13 @@ struct ResultCacheOptions {
 
 struct TopKOptions {
   size_t k = 10;
+  /// The ranking scheme. Must be registered in SchemeRegistry (the three
+  /// built-ins always are; custom values come from Register, which
+  /// refuses uncertifiable algebras) — the run consults the scheme's
+  /// SchemeCertificate for every optimization decision (threshold
+  /// pruning, DPO stopping rule, shard K'-truncation, cache exactness;
+  /// DESIGN.md §16), and an unregistered value is an InvalidArgument
+  /// error up front.
   RankScheme scheme = RankScheme::kStructureFirst;
   Weights weights;
   /// When true, the run assembles a QueryTrace (returned via
@@ -127,7 +136,10 @@ struct TopKOptions {
   /// results: answers, scores, relaxation metadata and every work
   /// counter are byte-identical to the unsharded run at any shard count
   /// (the differential harness checks all of it). Sharding disables the
-  /// sub-plan result cache — cache entries key whole-corpus tuple lists.
+  /// sub-plan result cache — cache entries key whole-corpus tuple lists;
+  /// a run that requested both surfaces the conflict as an FX310
+  /// warning, the query.cache_disabled_sharded metric, and a trace
+  /// annotation (see the README cache/shards tables).
   /// Shards compose with num_threads: the thread pool fans out over
   /// shards (and, unsharded, over tuple chunks), so threads are the
   /// workers and shards are the work units.
@@ -207,10 +219,15 @@ class TopKProcessor {
                                    const ShardedCorpus* shards);
 
  private:
+  // `cert` is the certificate of opts.scheme (validated non-null by
+  // RunWithShards): the stopping rules and cache decisions below read
+  // their licenses from it instead of switching on the scheme by name.
   Result<TopKResult> RunDpo(const Tpq& q, const TopKOptions& opts,
+                            const SchemeCertificate& cert,
                             const PenaltyModel& pm, TraceCollector* trace,
                             ThreadPool* pool, const ShardedCorpus* shards);
   Result<TopKResult> RunEncoded(const Tpq& q, const TopKOptions& opts,
+                                const SchemeCertificate& cert,
                                 const PenaltyModel& pm, EvalMode mode,
                                 TraceCollector* trace, ThreadPool* pool,
                                 const ShardedCorpus* shards);

@@ -1,0 +1,141 @@
+#include "rank/scheme_registry.h"
+
+#include <cassert>
+#include <utility>
+
+namespace flexpath {
+
+SchemeRegistry& SchemeRegistry::Global() {
+  static SchemeRegistry* registry = new SchemeRegistry();
+  return *registry;
+}
+
+SchemeRegistry::SchemeRegistry() {
+  // The built-ins are pre-certified at startup; their certificates are
+  // what every optimization site consults. All three must certify — a
+  // failure here means the certifier itself regressed.
+  for (const SchemeAlgebra& algebra :
+       {StructureFirstAlgebra(), KeywordFirstAlgebra(), CombinedAlgebra()}) {
+    SchemeCertificate cert = CertifyScheme(algebra);
+    assert(cert.certified && "built-in rank scheme failed certification");
+    Install(algebra, std::move(cert));
+  }
+}
+
+RankScheme SchemeRegistry::Install(const SchemeAlgebra& algebra,
+                                   SchemeCertificate certificate) {
+  MutexLock lock(mu_);
+  assert(next_id_ < kMaxRankSchemes);
+  const auto id = static_cast<RankScheme>(next_id_++);
+  auto entry = std::make_unique<const Entry>(
+      Entry{algebra, std::move(certificate)});
+  slots_[static_cast<size_t>(id)].store(entry.get(),
+                                        std::memory_order_release);
+  owned_.push_back(std::move(entry));
+  return id;
+}
+
+Result<RankScheme> SchemeRegistry::Register(const SchemeAlgebra& algebra) {
+  if (algebra.name.empty()) {
+    return Status::InvalidArgument("rank scheme needs a name");
+  }
+  if (ByName(algebra.name).has_value()) {
+    return Status::InvalidArgument("rank scheme '" + algebra.name +
+                                   "' is already registered");
+  }
+  SchemeCertificate cert = CertifyScheme(algebra);
+  if (!cert.certified) {
+    // Fold the refuting FX3xx diagnostics into the error so callers (and
+    // the CLI) see exactly which property failed and why.
+    std::string msg =
+        "rank scheme '" + algebra.name + "' failed certification:";
+    for (const Diagnostic& d : cert.Report().diagnostics) {
+      msg += " [" + d.code + "] " + d.message + ";";
+    }
+    return Status::InvalidArgument(std::move(msg));
+  }
+  {
+    MutexLock lock(mu_);
+    if (next_id_ >= kMaxRankSchemes) {
+      return Status::InvalidArgument("rank scheme table is full");
+    }
+  }
+  return Install(algebra, std::move(cert));
+}
+
+RankScheme SchemeRegistry::RegisterForTest(const SchemeAlgebra& algebra,
+                                           SchemeCertificate certificate) {
+  return Install(algebra, std::move(certificate));
+}
+
+void SchemeRegistry::ReplaceCertificateForTest(RankScheme scheme,
+                                               SchemeCertificate certificate) {
+  MutexLock lock(mu_);
+  const auto idx = static_cast<size_t>(scheme);
+  assert(idx < kMaxRankSchemes);
+  const Entry* old = slots_[idx].load(std::memory_order_acquire);
+  assert(old != nullptr && "replacing certificate of an unknown scheme");
+  auto entry = std::make_unique<const Entry>(
+      Entry{old->algebra, std::move(certificate)});
+  slots_[idx].store(entry.get(), std::memory_order_release);
+  owned_.push_back(std::move(entry));
+}
+
+const SchemeCertificate* SchemeRegistry::Certificate(RankScheme scheme) const {
+  const Entry* e = Lookup(scheme);
+  return e == nullptr ? nullptr : &e->certificate;
+}
+
+const SchemeAlgebra* SchemeRegistry::Algebra(RankScheme scheme) const {
+  const Entry* e = Lookup(scheme);
+  return e == nullptr ? nullptr : &e->algebra;
+}
+
+const char* SchemeRegistry::Name(RankScheme scheme) const {
+  const Entry* e = Lookup(scheme);
+  return e == nullptr ? nullptr : e->algebra.name.c_str();
+}
+
+std::optional<RankScheme> SchemeRegistry::ByName(std::string_view name) const {
+  for (size_t i = 0; i < kMaxRankSchemes; ++i) {
+    const Entry* e = slots_[i].load(std::memory_order_acquire);
+    if (e != nullptr && e->algebra.name == name) {
+      return static_cast<RankScheme>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<RankScheme> SchemeRegistry::Registered() const {
+  std::vector<RankScheme> out;
+  for (size_t i = 0; i < kMaxRankSchemes; ++i) {
+    if (slots_[i].load(std::memory_order_acquire) != nullptr) {
+      out.push_back(static_cast<RankScheme>(i));
+    }
+  }
+  return out;
+}
+
+std::string SchemeRegistry::CertificatesJson() const {
+  std::string out = "[";
+  bool first = true;
+  for (RankScheme s : Registered()) {
+    const SchemeCertificate* cert = Certificate(s);
+    if (cert == nullptr) continue;
+    if (!first) out += ",";
+    first = false;
+    out += cert->ToJson();
+  }
+  out += "]";
+  return out;
+}
+
+bool SchemeRegistry::RanksBeforeCustom(const AnswerScore& a,
+                                       const AnswerScore& b,
+                                       RankScheme scheme) {
+  const Entry* e = Global().Lookup(scheme);
+  if (e == nullptr) return false;
+  return e->algebra.RanksBefore(a.ss, a.ks, b.ss, b.ks);
+}
+
+}  // namespace flexpath

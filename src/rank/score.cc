@@ -1,6 +1,7 @@
 #include "rank/score.h"
 
 #include "common/hash.h"
+#include "rank/scheme_registry.h"
 
 namespace flexpath {
 
@@ -13,11 +14,16 @@ const char* RankSchemeName(RankScheme scheme) {
     case RankScheme::kCombined:
       return "combined";
   }
-  return "unknown";
+  // Custom schemes minted by SchemeRegistry::Register.
+  const char* name = SchemeRegistry::Global().Name(scheme);
+  return name != nullptr ? name : "unknown";
 }
 
 bool RanksBefore(const AnswerScore& a, const AnswerScore& b,
                  RankScheme scheme) {
+  // The built-ins keep a hand-inlined fast path (this comparator sits in
+  // every sort/merge inner loop); score_algebra_test pins each case to
+  // its registered algebra, so the two can never drift apart.
   switch (scheme) {
     case RankScheme::kStructureFirst:
       if (a.ss != b.ss) return a.ss > b.ss;
@@ -28,7 +34,8 @@ bool RanksBefore(const AnswerScore& a, const AnswerScore& b,
     case RankScheme::kCombined:
       return a.Combined() > b.Combined();
   }
-  return false;
+  // Custom schemes evaluate their registered algebra (lock-free lookup).
+  return SchemeRegistry::RanksBeforeCustom(a, b, scheme);
 }
 
 double BaseStructuralScore(const Tpq& q, const Weights& w) {

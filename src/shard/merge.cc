@@ -16,8 +16,10 @@ bool AnswerBefore(const RankedAnswer& a, const RankedAnswer& b,
 
 }  // namespace
 
-size_t ShardKPrime(size_t k, bool single_pass) {
-  if (k == 0 || !single_pass) return std::numeric_limits<size_t>::max();
+size_t ShardKPrime(size_t k, bool single_pass, bool truncation_safe) {
+  if (k == 0 || !single_pass || !truncation_safe) {
+    return std::numeric_limits<size_t>::max();
+  }
   return k;
 }
 

@@ -34,8 +34,13 @@ struct ShardMergeStats {
 ///    incarnation, and a later round's score for the same node is not
 ///    bounded by its earlier one once keyword scores enter — so a
 ///    truncated round list could silently change which incarnation the
-///    merge keeps. Round lists therefore travel whole.
-size_t ShardKPrime(size_t k, bool single_pass);
+///    merge keeps. Round lists therefore travel whole;
+///  - `truncation_safe` false: the scheme's certificate refutes FX303
+///    (SchemeCertificate::truncation_safe, DESIGN.md §16), so the
+///    "outranked locally implies outranked globally" step above is not
+///    proven and every per-shard answer must travel. Callers pass
+///    the certificate verdict rather than deciding per scheme by name.
+size_t ShardKPrime(size_t k, bool single_pass, bool truncation_safe);
 
 /// K-way merges per-shard answer lists — each already sorted by the
 /// finalize order (RanksBefore under `scheme`, ties broken by node id) —

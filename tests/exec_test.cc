@@ -1,5 +1,6 @@
 #include <algorithm>
 #include <set>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -414,6 +415,85 @@ TEST(SelectivityTest, EstimatesAreFiniteAndNonNegative) {
     EXPECT_GE(cur, 0.0) << e.op.ToString();
     EXPECT_LE(cur, total_items + 1e-9) << e.op.ToString();
   }
+}
+
+// --- ExecCounters reflection ----------------------------------------------
+
+// The visitor is the single source of truth for the field list: it must
+// enumerate every field exactly once (the static_assert on sizeof pins
+// the count at compile time; this pins the visitor to the count).
+TEST(ExecCountersTest, VisitFieldsCoversEveryFieldOnce) {
+  ExecCounters c;
+  std::set<std::string> names;
+  size_t visited = 0;
+  ExecCounters::VisitFields(
+      c, [&](const char* name, const uint64_t&, ExecCounters::Agg) {
+        EXPECT_TRUE(names.insert(name).second) << "duplicate field " << name;
+        ++visited;
+      });
+  EXPECT_EQ(visited, ExecCounters::kFieldCount);
+  // Spot-check the only high-water-mark field carries the right policy.
+  ExecCounters::VisitFields(
+      c, [&](const char* name, const uint64_t&, ExecCounters::Agg agg) {
+        if (std::string(name) == "buckets_peak") {
+          EXPECT_EQ(agg, ExecCounters::Agg::kMax);
+        } else {
+          EXPECT_EQ(agg, ExecCounters::Agg::kSum) << name;
+        }
+      });
+}
+
+// Differential check that Add() really routes every field through its
+// declared aggregation: distinct per-field values, so a dropped or
+// swapped field changes the result.
+TEST(ExecCountersTest, AddAggregatesEveryFieldByItsPolicy) {
+  ExecCounters a, b;
+  uint64_t seed = 1;
+  ExecCounters::VisitFields(
+      a, [&](const char*, uint64_t& value, ExecCounters::Agg) {
+        value = seed;
+        seed += 10;
+      });
+  seed = 7;
+  ExecCounters::VisitFields(
+      b, [&](const char*, uint64_t& value, ExecCounters::Agg) {
+        value = seed;
+        seed += 3;
+      });
+
+  ExecCounters expect_sum = a;  // Hand-computed expectation per field.
+  {
+    std::vector<uint64_t> b_vals;
+    ExecCounters::VisitFields(
+        b, [&](const char*, const uint64_t& value, ExecCounters::Agg) {
+          b_vals.push_back(value);
+        });
+    size_t i = 0;
+    ExecCounters::VisitFields(
+        expect_sum,
+        [&](const char*, uint64_t& value, ExecCounters::Agg agg) {
+          value = agg == ExecCounters::Agg::kMax
+                      ? std::max(value, b_vals[i])
+                      : value + b_vals[i];
+          ++i;
+        });
+  }
+
+  ExecCounters sum = a;
+  sum.Add(b);
+  ExecCounters::VisitFields(
+      sum, [&](const char* name, const uint64_t& value, ExecCounters::Agg) {
+        uint64_t expected = 0;
+        ExecCounters::VisitFields(
+            expect_sum, [&](const char* n, const uint64_t& v,
+                            ExecCounters::Agg) {
+              if (std::string(n) == name) expected = v;
+            });
+        EXPECT_EQ(value, expected) << name;
+      });
+  // buckets_peak took the max, not the sum.
+  EXPECT_EQ(sum.buckets_peak, std::max(a.buckets_peak, b.buckets_peak));
+  EXPECT_EQ(sum.plan_passes, a.plan_passes + b.plan_passes);
 }
 
 }  // namespace

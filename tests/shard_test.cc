@@ -207,13 +207,22 @@ TEST(ShardPartitionTest, ShardOfMapsEveryDocument) {
 TEST(ShardMergeTest, KPrimeContract) {
   constexpr size_t kUnbounded = std::numeric_limits<size_t>::max();
   // k == 0 means "the caller wants everything" in either mode.
-  EXPECT_EQ(ShardKPrime(0, /*single_pass=*/true), kUnbounded);
-  EXPECT_EQ(ShardKPrime(0, /*single_pass=*/false), kUnbounded);
-  // Single-pass (SSO/Hybrid): k itself is the sound per-shard bound.
-  EXPECT_EQ(ShardKPrime(5, /*single_pass=*/true), 5u);
+  EXPECT_EQ(ShardKPrime(0, /*single_pass=*/true, /*truncation_safe=*/true),
+            kUnbounded);
+  EXPECT_EQ(ShardKPrime(0, /*single_pass=*/false, /*truncation_safe=*/true),
+            kUnbounded);
+  // Single-pass (SSO/Hybrid) with a truncation-safe certificate: k
+  // itself is the sound per-shard bound.
+  EXPECT_EQ(ShardKPrime(5, /*single_pass=*/true, /*truncation_safe=*/true),
+            5u);
   // Multi-round (DPO): round lists travel whole — truncation could
   // change which incarnation of a node the dedup keeps.
-  EXPECT_EQ(ShardKPrime(5, /*single_pass=*/false), kUnbounded);
+  EXPECT_EQ(ShardKPrime(5, /*single_pass=*/false, /*truncation_safe=*/true),
+            kUnbounded);
+  // A scheme whose certificate refutes truncation safety (FX303) keeps
+  // every per-shard answer, even single-pass.
+  EXPECT_EQ(ShardKPrime(5, /*single_pass=*/true, /*truncation_safe=*/false),
+            kUnbounded);
 }
 
 // Property: the k-way merge of document-disjoint sorted shard lists is
