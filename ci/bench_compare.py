@@ -23,6 +23,12 @@ Checked fields (threshold: >20% worse than baseline):
   - cold.elapsed_ms / warm.elapsed_ms  (wall time per run)
   - unsharded.elapsed_ms / sharded.elapsed_ms
                                        (scatter-gather overhead)
+  - packed_cold.elapsed_ms / packed_warm.elapsed_ms
+                                       (mmap-backed storage engine)
+  - packed_open_ms                     (packed-corpus open cost,
+                                       O(directories) by design)
+  - packed_resident_bytes              (decoded-bytes proxy: buffer
+                                       pools + materialized documents)
   - warm_hit_rate                      (cache effectiveness, lower = worse)
 Counter fields are byte-deterministic and covered by tests, not here.
 """
@@ -68,7 +74,8 @@ def main(argv: list[str]) -> int:
         return 1 if strict else 0
 
     findings = 0
-    for run in ("cold", "warm", "unsharded", "sharded"):
+    for run in ("cold", "warm", "unsharded", "sharded", "packed_cold",
+                "packed_warm"):
         base = baseline.get(run, {}).get("elapsed_ms")
         cur = current.get(run, {}).get("elapsed_ms")
         if not base or cur is None:
@@ -78,6 +85,22 @@ def main(argv: list[str]) -> int:
             warn(
                 f"{run} run wall time regressed {ratio:.2f}x "
                 f"({base:.2f}ms -> {cur:.2f}ms, threshold +{THRESHOLD:.0%})"
+            )
+            findings += 1
+
+    # Scalar "bigger is worse" fields from the packed storage engine.
+    for field, unit in (("packed_open_ms", "ms"),
+                        ("packed_resident_bytes", "bytes")):
+        base = baseline.get(field)
+        cur = current.get(field)
+        if not base or cur is None:
+            continue
+        ratio = cur / base
+        if ratio > 1.0 + THRESHOLD:
+            warn(
+                f"{field} regressed {ratio:.2f}x "
+                f"({base:.2f}{unit} -> {cur:.2f}{unit}, "
+                f"threshold +{THRESHOLD:.0%})"
             )
             findings += 1
 

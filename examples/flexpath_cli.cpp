@@ -2,6 +2,10 @@
 //
 //   flexpath_cli file1.xml file2.xml ...     # load documents, then REPL
 //   flexpath_cli --xmark 5                   # 5MB of generated data
+//   flexpath_cli --packed corpus.fxp         # mmap a packed corpus file
+//                                            # (flexpath_pack output): no
+//                                            # parse, no upfront decode —
+//                                            # open is O(directories)
 //   flexpath_cli --xmark 5 --explain "<xpath>"
 //                                            # one-shot EXPLAIN ANALYZE:
 //                                            # run the query with tracing
@@ -60,6 +64,9 @@
 //   :help / :quit
 //
 // Corpus flags:
+//   --packed FILE              open a packed corpus (see flexpath_pack)
+//                              instead of parsing XML / generating XMark;
+//                              mutually exclusive with document inputs
 //   --subtype SUPER SUB        declare SUB a subtype of SUPER before the
 //                              index is built (tag generalization,
 //                              Section 3.4); repeatable
@@ -672,7 +679,34 @@ int Repl(CliState& state) {
           std::printf("usage: :cache [off|run|shared]\n");
         }
       } else {
-        std::printf("%s\n", state.fp.CacheStatsJson().c_str());
+        // Two distinct cache families live behind one engine: the
+        // query-level result/IR caches (answers, contains results,
+        // merged scans) and — for a packed corpus — the storage buffer
+        // pools, which cache *decoded file blocks*, not query results.
+        std::printf("query result/IR caches:\n  %s\n",
+                    state.fp.CacheStatsJson().c_str());
+        const flexpath::storage::StorageReader* reader =
+            state.fp.packed_reader();
+        if (reader == nullptr) {
+          std::printf("storage buffer pools: (not a packed corpus)\n");
+        } else {
+          const auto print_pool =
+              [](const char* pool_name,
+                 const flexpath::storage::StorageReader::PoolStats& s) {
+                std::printf(
+                    "  %-15s %llu hits / %llu misses / %llu evictions, "
+                    "%zu entries, %zu of %zu bytes\n",
+                    pool_name, static_cast<unsigned long long>(s.hits),
+                    static_cast<unsigned long long>(s.misses),
+                    static_cast<unsigned long long>(s.evictions),
+                    s.entries, s.bytes, s.budget);
+              };
+          std::printf(
+              "storage buffer pools (decoded-block pools of the packed "
+              "file, not result caches):\n");
+          print_pool("element tables:", reader->GetElemPoolStats());
+          print_pool("posting lists:", reader->GetPostPoolStats());
+        }
       }
     } else if (cmd == ":trace") {
       const std::string chrome = state.fp.LastTraceChromeJson();
@@ -710,6 +744,7 @@ int Repl(CliState& state) {
 int main(int argc, char** argv) {
   CliState state;
   bool loaded = false;
+  std::string packed_path;
   bool metrics_prom = false;
   const char* explain_query = nullptr;
   bool explain_json = false;
@@ -845,7 +880,19 @@ int main(int argc, char** argv) {
       check_query = argv[++i];
       continue;
     }
+    if (const char* v = FlagValue(argc, argv, &i, "--packed")) {
+      packed_path = v;
+      continue;
+    }
     if (std::strcmp(argv[i], "--subtype") == 0 && i + 2 < argc) {
+      // Interns into the tag dictionary, which a packed open needs empty
+      // (packed tag ids are positional).
+      if (!packed_path.empty()) {
+        std::fprintf(stderr,
+                     "--subtype cannot be combined with --packed: pass "
+                     "--subtype when packing instead\n");
+        return 2;
+      }
       const flexpath::TagId super = state.fp.tags()->Intern(argv[i + 1]);
       const flexpath::TagId sub = state.fp.tags()->Intern(argv[i + 2]);
       i += 2;
@@ -880,9 +927,16 @@ int main(int argc, char** argv) {
     }
     loaded = true;
   }
-  if (!loaded) {
+  if (!packed_path.empty() && loaded) {
     std::fprintf(stderr,
-                 "usage: %s [--xmark MB] [--explain \"<xpath>\"] "
+                 "--packed is mutually exclusive with XML inputs and "
+                 "--xmark (the packed file *is* the corpus)\n");
+    return 2;
+  }
+  if (!loaded && packed_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s [--xmark MB] [--packed FILE] "
+                 "[--explain \"<xpath>\"] "
                  "[--explain-json \"<xpath>\"] [--check \"<xpath>\"] "
                  "[--check-json \"<xpath>\"] [--certify] [--certify-json] "
                  "[--subtype SUPER SUB] "
@@ -906,7 +960,13 @@ int main(int argc, char** argv) {
                  argv[0]);
     return 2;
   }
-  if (flexpath::Status st = state.fp.Build(); !st.ok()) {
+  if (!packed_path.empty()) {
+    if (flexpath::Status st = state.fp.OpenPacked(packed_path); !st.ok()) {
+      std::fprintf(stderr, "--packed %s: %s\n", packed_path.c_str(),
+                   st.ToString().c_str());
+      return 1;
+    }
+  } else if (flexpath::Status st = state.fp.Build(); !st.ok()) {
     std::fprintf(stderr, "build failed: %s\n", st.ToString().c_str());
     return 1;
   }

@@ -99,6 +99,77 @@ Status FlexPath::Build() {
   return Status::OK();
 }
 
+Status FlexPath::SavePacked(const std::string& path) const {
+  if (corpus_.size() == 0) {
+    return Status::InvalidArgument("no documents added");
+  }
+  const auto start = std::chrono::steady_clock::now();
+  storage::PackResult result;
+  FLEXPATH_RETURN_IF_ERROR(
+      storage::WritePackedCorpus(corpus_, tokenizer_opts_, path, &result));
+  static Histogram* m_pack =
+      MetricsRegistry::Global().histogram("storage.pack_ms");
+  m_pack->Observe(MsSince(start));
+  FLEXPATH_LOG_INFO("storage", "packed corpus written", {"path", path},
+                    {"bytes", result.file_bytes},
+                    {"documents", result.doc_count},
+                    {"terms", result.term_count},
+                    {"elapsed_ms", MsSince(start)});
+  return Status::OK();
+}
+
+Status FlexPath::OpenPacked(const std::string& path,
+                            storage::ReaderOptions reader_opts) {
+  if (built_) return Status::InvalidArgument("Build() already called");
+  if (corpus_.size() != 0) {
+    return Status::InvalidArgument(
+        "OpenPacked requires a fresh instance (no documents added)");
+  }
+  TraceCollector collector("open_packed");
+  {
+    Span span(&collector, "map_and_validate");
+    Result<std::shared_ptr<storage::StorageReader>> reader =
+        storage::StorageReader::Open(path, reader_opts);
+    if (!reader.ok()) return reader.status();
+    reader_ = std::move(reader).value();
+  }
+  // The file records the TokenizerOptions it was packed with; adopting
+  // them keeps query-side term normalization identical to the index.
+  tokenizer_opts_ = reader_->tokenizer_options();
+  {
+    Span span(&collector, "tags_and_corpus");
+    FLEXPATH_RETURN_IF_ERROR(reader_->LoadTags(corpus_.tags()));
+    corpus_.AttachBacking(reader_);
+  }
+  {
+    Span span(&collector, "element_index");
+    element_index_ = std::make_unique<ElementIndex>(
+        &corpus_, hierarchy_.empty() ? nullptr : &hierarchy_, reader_);
+  }
+  {
+    Span span(&collector, "document_stats");
+    Result<DocumentStats::Tables> tables = reader_->LoadStatsTables();
+    if (!tables.ok()) return tables.status();
+    stats_ = std::make_unique<DocumentStats>(&corpus_,
+                                             std::move(tables).value());
+  }
+  {
+    Span span(&collector, "ir_engine");
+    ir_ = std::make_unique<IrEngine>(&corpus_, tokenizer_opts_, reader_);
+  }
+  processor_ = std::make_unique<TopKProcessor>(
+      element_index_.get(), stats_.get(), ir_.get(), &query_stats_);
+  QueryTrace trace = collector.Finish();
+  FLEXPATH_LOG_INFO("core", "packed corpus opened",
+                    {"path", path},
+                    {"documents", corpus_.size()},
+                    {"elements", corpus_.TotalNodes()},
+                    {"elapsed_ms", trace.root.elapsed_ms});
+  build_trace_ = std::make_shared<const QueryTrace>(std::move(trace));
+  built_ = true;
+  return Status::OK();
+}
+
 Result<Tpq> FlexPath::Parse(std::string_view xpath) const {
   // Interning tags from queries is safe after Build(): unseen tags get
   // fresh ids with empty scan lists.
@@ -362,6 +433,28 @@ std::string FlexPath::CacheStatsJson() const {
     out += ",\"entries\":" + std::to_string(ms.entries);
     out += ",\"bytes\":" + std::to_string(ms.bytes);
     out += ",\"budget\":" + std::to_string(ms.budget);
+    out += '}';
+  } else {
+    out += "null";
+  }
+  // The storage buffer pools are a different animal from the result
+  // caches above: they cache *decoded on-disk pages* (element tables,
+  // posting lists), not query results, and exist only for packed
+  // corpora.
+  out += ",\"storage_buffer_pool\":";
+  if (reader_ != nullptr) {
+    auto pool_json = [](const storage::StorageReader::PoolStats& s) {
+      std::string p = "{\"hits\":" + std::to_string(s.hits);
+      p += ",\"misses\":" + std::to_string(s.misses);
+      p += ",\"evictions\":" + std::to_string(s.evictions);
+      p += ",\"entries\":" + std::to_string(s.entries);
+      p += ",\"bytes\":" + std::to_string(s.bytes);
+      p += ",\"budget\":" + std::to_string(s.budget);
+      p += '}';
+      return p;
+    };
+    out += "{\"element_tables\":" + pool_json(reader_->GetElemPoolStats());
+    out += ",\"posting_lists\":" + pool_json(reader_->GetPostPoolStats());
     out += '}';
   } else {
     out += "null";

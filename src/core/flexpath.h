@@ -26,6 +26,8 @@
 #include "rank/score.h"
 #include "stats/document_stats.h"
 #include "stats/element_index.h"
+#include "storage/reader.h"
+#include "storage/writer.h"
 #include "xml/corpus.h"
 #include "xml/type_hierarchy.h"
 
@@ -86,6 +88,31 @@ class FlexPath {
   /// index/IR engine, and the statistics. Must be called exactly once,
   /// after all documents are added and before any query.
   Status Build();
+
+  /// Serializes the corpus plus everything Build() derives from it into
+  /// the packed single-file format (DESIGN.md §17) at `path`. Callable
+  /// before or after Build(); the instance is unchanged. A subsequent
+  /// OpenPacked of the file answers every query byte-identically to this
+  /// instance (same answers, scores, relaxations, and ExecCounters —
+  /// the differential suite asserts it).
+  Status SavePacked(const std::string& path) const;
+
+  /// Opens a packed corpus file instead of AddDocument* + Build(): maps
+  /// the file, restores tag dictionary / statistics / tokenizer options
+  /// from it, and wires the element index, inverted index, and corpus to
+  /// mmap-backed lazy implementations — no documents are decoded until a
+  /// query touches them, so open time is O(directories), not O(data).
+  /// Must be called on a fresh instance (no documents added, not built);
+  /// leaves the instance queryable (built() == true). Populate
+  /// type_hierarchy() before calling, as with Build().
+  Status OpenPacked(const std::string& path,
+                    storage::ReaderOptions reader_opts = {});
+
+  /// Non-null after a successful OpenPacked: the mmap-backed reader,
+  /// exposing buffer-pool stats and the file header.
+  const storage::StorageReader* packed_reader() const {
+    return reader_.get();
+  }
 
   /// Parses an XPath-fragment query string into a tree pattern.
   Result<Tpq> Parse(std::string_view xpath) const;
@@ -183,8 +210,10 @@ class FlexPath {
 
   /// One JSON object with the state of every cache: the process-wide
   /// sub-plan result cache (DESIGN.md §12), this instance's IR
-  /// contains-result cache, and its merged-scan cache. Fields for the
-  /// latter two are null before Build().
+  /// contains-result cache, its merged-scan cache, and — for a packed
+  /// corpus — the storage buffer pools (element tables and posting
+  /// lists; null otherwise). Fields for the instance caches are null
+  /// before Build()/OpenPacked().
   std::string CacheStatsJson() const;
 
   /// Sets the byte budget of the process-wide sub-plan result cache
@@ -252,6 +281,9 @@ class FlexPath {
   TypeHierarchy hierarchy_;
   Thesaurus thesaurus_;
   bool built_ = false;
+  /// Set by OpenPacked; shared with the corpus backing, the packed
+  /// element index, and the packed posting source.
+  std::shared_ptr<storage::StorageReader> reader_;
   std::unique_ptr<ElementIndex> element_index_;
   std::unique_ptr<DocumentStats> stats_;
   std::unique_ptr<IrEngine> ir_;

@@ -107,6 +107,12 @@ size_t ContainsResult::ApproxBytes() const {
 IrEngine::IrEngine(const Corpus* corpus, TokenizerOptions opts)
     : corpus_(corpus), index_(corpus, opts), cache_(kDefaultCacheBudgetBytes) {}
 
+IrEngine::IrEngine(const Corpus* corpus, TokenizerOptions opts,
+                   std::shared_ptr<const PostingSource> source)
+    : corpus_(corpus),
+      index_(corpus, opts, std::move(source)),
+      cache_(kDefaultCacheBudgetBytes) {}
+
 std::shared_ptr<const ContainsResult> IrEngine::Evaluate(const FtExpr& expr) {
   static Counter* m_calls =
       MetricsRegistry::Global().counter("ir.evaluate_calls");
@@ -242,7 +248,7 @@ std::vector<NodeRef> IrEngine::DirectMatches(const FtExpr& expr) const {
   std::vector<NodeRef> out;
   if (expr.kind() == FtKind::kTerm) {
     if (expr.term().empty()) return out;  // normalized-away stopword
-    const PostingList* list = index_.Find(expr.term());
+    const std::shared_ptr<const PostingList> list = index_.Find(expr.term());
     if (list == nullptr) return out;
     m_scanned->Inc(list->postings.size());
     out.reserve(list->postings.size());
@@ -253,11 +259,12 @@ std::vector<NodeRef> IrEngine::DirectMatches(const FtExpr& expr) const {
   // within each candidate element.
   const std::vector<std::string>& words = expr.phrase();
   if (words.empty()) return out;
-  std::vector<const PostingList*> lists;
+  // The handles pin pooled lists (packed mode) for the whole walk below.
+  std::vector<std::shared_ptr<const PostingList>> lists;
   for (const std::string& w : words) {
-    const PostingList* list = index_.Find(w);
+    std::shared_ptr<const PostingList> list = index_.Find(w);
     if (list == nullptr) return out;
-    lists.push_back(list);
+    lists.push_back(std::move(list));
   }
   m_scanned->Inc(lists[0]->postings.size());
   // Walk the first list; probe the others.
@@ -345,7 +352,7 @@ std::vector<NodeRef> IrEngine::Universe() const {
   std::vector<NodeRef> out;
   out.reserve(corpus_->TotalNodes());
   for (DocId d = 0; d < corpus_->size(); ++d) {
-    const size_t n = corpus_->doc(d).size();
+    const size_t n = corpus_->DocSize(d);  // No materialization needed.
     for (NodeId i = 0; i < n; ++i) out.push_back(NodeRef{d, i});
   }
   return out;

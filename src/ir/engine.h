@@ -96,6 +96,11 @@ class IrEngine {
   /// `corpus` must outlive the engine and not change after construction.
   explicit IrEngine(const Corpus* corpus, TokenizerOptions opts = {});
 
+  /// Packed mode: the inverted index forwards to `source` (the packed
+  /// reader's posting section) instead of tokenizing the corpus.
+  IrEngine(const Corpus* corpus, TokenizerOptions opts,
+           std::shared_ptr<const PostingSource> source);
+
   IrEngine(const IrEngine&) = delete;
   IrEngine& operator=(const IrEngine&) = delete;
 

@@ -2,10 +2,13 @@
 #define FLEXPATH_IR_INVERTED_INDEX_H_
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/status.h"
 #include "ir/tokenizer.h"
 #include "xml/corpus.h"
 
@@ -26,43 +29,98 @@ struct PostingList {
   std::vector<uint64_t> tf_prefix;  ///< tf_prefix[i] = sum of tf[0..i).
 };
 
+/// On-demand provider of posting lists. A packed corpus
+/// (storage/reader.h) implements this over its block-compressed posting
+/// section: term metadata (df, total tf) is answered from the term
+/// directory without decoding, full lists decode into the buffer pool,
+/// and range term-frequency sums seek via per-block skip entries (tf
+/// prefix sums in SkipEntry::aggregate) so only boundary blocks decode.
+/// Declared here so ir/ stays independent of storage/.
+class PostingSource {
+ public:
+  virtual ~PostingSource() = default;
+
+  /// Looks up `term` in the directory. Returns false for unknown terms;
+  /// otherwise fills df (posting count) and total_tf without decoding.
+  virtual bool TermInfo(const std::string& term, uint32_t* df,
+                        uint64_t* total_tf) const = 0;
+
+  /// Full posting list for `term` (decoded or buffer-pool hit), or null
+  /// for unknown terms. The shared_ptr pins the list against eviction.
+  virtual std::shared_ptr<const PostingList> FindPostings(
+      const std::string& term) const = 0;
+
+  /// Sum of tf over postings whose NodeRef key ((doc << 32) | node) lies
+  /// in [lo_key, hi_key). Seeks via skip entries; decodes at most the
+  /// two boundary blocks. Errors (corrupt blocks) surface as Status.
+  virtual Result<uint64_t> RangeTermFrequency(const std::string& term,
+                                              uint64_t lo_key,
+                                              uint64_t hi_key) const = 0;
+
+  /// Number of distinct terms in the directory.
+  virtual size_t TermCount() const = 0;
+};
+
 /// Element-granularity inverted index over a corpus. Terms are attributed
 /// to the element whose immediate text contains them; subtree-level
 /// statistics are derived at query time from the interval encoding.
+///
+/// Two modes: the in-memory mode tokenizes the whole corpus at build
+/// time; the packed mode (PostingSource ctor) holds no lists at all and
+/// forwards every lookup to the source. Both return identical data —
+/// the differential suite asserts byte-identical query answers.
 class InvertedIndex {
  public:
-  /// Builds the index. `corpus` must outlive the index and not change.
+  /// Builds the index in one corpus pass. `corpus` must outlive the
+  /// index and not change.
   InvertedIndex(const Corpus* corpus, TokenizerOptions opts);
+
+  /// Packed mode: no corpus pass; lookups go to `source`.
+  InvertedIndex(const Corpus* corpus, TokenizerOptions opts,
+                std::shared_ptr<const PostingSource> source);
 
   InvertedIndex(const InvertedIndex&) = delete;
   InvertedIndex& operator=(const InvertedIndex&) = delete;
 
-  /// Returns the posting list for a normalized term, or nullptr.
-  const PostingList* Find(const std::string& term) const;
+  /// Returns the posting list for a normalized term, or null. The
+  /// shared_ptr keeps the list valid even if a packed reader's buffer
+  /// pool evicts it concurrently (in-memory lists are owned by the index
+  /// itself; their handle is non-owning).
+  std::shared_ptr<const PostingList> Find(const std::string& term) const;
 
   /// Inverse document frequency of `term` at element granularity:
-  /// log(1 + N / (1 + df)). Zero-df terms still get a finite value.
+  /// log(1 + N / (1 + df)). Zero-df terms still get a finite value. In
+  /// packed mode df comes from the term directory — no list decode.
   double Idf(const std::string& term) const;
 
   /// Total elements indexed (the N of the idf formula).
   uint64_t total_elements() const { return total_elements_; }
 
   /// Number of distinct terms.
-  size_t vocabulary_size() const { return index_.size(); }
+  size_t vocabulary_size() const;
 
   const Corpus& corpus() const { return *corpus_; }
   const TokenizerOptions& tokenizer_options() const { return opts_; }
 
   /// Sum of tf of `term` over all elements in the subtree of `context`
-  /// (inclusive). O(log |postings|) via prefix sums.
+  /// (inclusive). O(log |postings|) via prefix sums in memory; in packed
+  /// mode a skip-entry range seek that decodes at most two blocks.
   uint64_t SubtreeTermFrequency(const std::string& term,
                                 NodeRef context) const;
+
+  /// Visits every (term, list) pair in unspecified order. In-memory mode
+  /// only (the packed writer serializes from an in-memory index).
+  void ForEachTerm(
+      const std::function<void(const std::string&, const PostingList&)>& fn)
+      const;
 
  private:
   const Corpus* corpus_;
   TokenizerOptions opts_;
   std::unordered_map<std::string, PostingList> index_;
   uint64_t total_elements_ = 0;
+  /// Packed mode: non-null; index_ stays empty.
+  std::shared_ptr<const PostingSource> source_;
 };
 
 }  // namespace flexpath

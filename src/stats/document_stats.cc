@@ -1,6 +1,7 @@
 #include "stats/document_stats.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace flexpath {
 
@@ -91,6 +92,26 @@ DocumentStats::DocumentStats(const Corpus* corpus, DocId doc_begin,
     }
     while (!stack.empty()) pop();
   }
+}
+
+DocumentStats::DocumentStats(const Corpus* corpus, Tables tables)
+    : corpus_(corpus),
+      doc_begin_(0),
+      doc_end_(static_cast<DocId>(corpus->size())),
+      tag_counts_(std::move(tables.tag_counts)),
+      pc_counts_(std::move(tables.pc_counts)),
+      ad_counts_(std::move(tables.ad_counts)),
+      pc_exists_(std::move(tables.pc_exists)),
+      ad_exists_(std::move(tables.ad_exists)) {}
+
+DocumentStats::Tables DocumentStats::ExportTables() const {
+  Tables t;
+  t.tag_counts = tag_counts_;
+  t.pc_counts = pc_counts_;
+  t.ad_counts = ad_counts_;
+  t.pc_exists = pc_exists_;
+  t.ad_exists = ad_exists_;
+  return t;
 }
 
 uint64_t DocumentStats::TagCount(TagId t) const {

@@ -20,8 +20,27 @@ namespace flexpath {
 /// Built with one pass that walks each node's ancestor chain, O(N * depth).
 class DocumentStats {
  public:
+  /// The raw statistics tables, exposed so a packed corpus can persist
+  /// them at pack time and restore them at open time without the
+  /// O(N * depth) corpus pass. Pair maps are keyed (t1 << 32) | t2.
+  struct Tables {
+    std::vector<uint64_t> tag_counts;
+    std::unordered_map<uint64_t, uint64_t> pc_counts;
+    std::unordered_map<uint64_t, uint64_t> ad_counts;
+    std::unordered_map<uint64_t, uint64_t> pc_exists;
+    std::unordered_map<uint64_t, uint64_t> ad_exists;
+  };
+
   /// `corpus` must outlive the stats and not change afterwards.
   explicit DocumentStats(const Corpus* corpus);
+
+  /// Restores whole-corpus statistics from pre-computed tables (packed
+  /// open path). The tables must have been produced by ExportTables()
+  /// over an identical corpus — byte-identical penalties depend on it.
+  DocumentStats(const Corpus* corpus, Tables tables);
+
+  /// Snapshot of the tables for serialization.
+  Tables ExportTables() const;
 
   /// Statistics over documents [doc_begin, doc_end) only — one shard's
   /// tables. Every statistic is a per-document sum (pairs never cross

@@ -40,6 +40,17 @@ ElementIndex::ElementIndex(const Corpus* corpus,
   }
 }
 
+ElementIndex::ElementIndex(const Corpus* corpus,
+                           const TypeHierarchy* hierarchy,
+                           std::shared_ptr<const ElementTableSource> source)
+    : corpus_(corpus),
+      hierarchy_(hierarchy),
+      doc_begin_(0),
+      doc_end_(static_cast<DocId>(corpus->size())),
+      source_generation_(corpus->generation()),
+      table_source_(std::move(source)),
+      merged_(kDefaultMergedBudgetBytes) {}
+
 size_t ElementIndex::OutstandingPins() const {
   MutexLock lock(merged_mu_);
   size_t pinned = 0;
@@ -67,7 +78,11 @@ ScanHandle ElementIndex::Scan(TagId tag) const {
       ++merged_misses_;
       auto merged = std::make_shared<std::vector<NodeRef>>();
       for (TagId t : closure) {
-        if (t < by_tag_.size()) {
+        if (table_source_ != nullptr) {
+          const std::shared_ptr<const std::vector<NodeRef>> list =
+              table_source_->TagList(t);
+          merged->insert(merged->end(), list->begin(), list->end());
+        } else if (t < by_tag_.size()) {
           merged->insert(merged->end(), by_tag_[t].begin(),
                          by_tag_[t].end());
         }
@@ -85,8 +100,21 @@ ScanHandle ElementIndex::Scan(TagId tag) const {
       return ScanHandle(std::move(owned));
     }
   }
+  if (table_source_ != nullptr) {
+    return ScanHandle(table_source_->TagList(tag));
+  }
   if (tag >= by_tag_.size()) return ScanHandle(&empty_);
   return ScanHandle(&by_tag_[tag]);
+}
+
+size_t ElementIndex::Count(TagId tag) const {
+  if (tag == kInvalidTag) return 0;
+  if (hierarchy_ != nullptr && !hierarchy_->empty() &&
+      hierarchy_->SubtypeClosure(tag).size() > 1) {
+    return Scan(tag).size();  // Merged supertype scan; no directory shortcut.
+  }
+  if (table_source_ != nullptr) return table_source_->TagListCount(tag);
+  return tag < by_tag_.size() ? by_tag_[tag].size() : 0;
 }
 
 void ElementIndex::SetMergedScanBudget(size_t budget_bytes) {

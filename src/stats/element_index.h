@@ -50,6 +50,26 @@ class ScanHandle {
   const std::vector<NodeRef>* list_;
 };
 
+/// On-demand provider of per-tag element tables, already in global
+/// document order. A packed corpus (storage/reader.h) implements this
+/// over its block-compressed element section so ElementIndex can serve
+/// Scan() without an index-building corpus pass; lists come back as
+/// shared_ptrs pinned by the reader's buffer pool, which slots straight
+/// into ScanHandle's pinning contract. Declared here so stats/ stays
+/// independent of storage/.
+class ElementTableSource {
+ public:
+  virtual ~ElementTableSource() = default;
+
+  /// #(t) — list length without decoding the list.
+  virtual size_t TagListCount(TagId tag) const = 0;
+
+  /// The full list for `tag`, decoded (or served from the buffer pool).
+  /// Never null; unknown tags yield an empty list.
+  virtual std::shared_ptr<const std::vector<NodeRef>> TagList(
+      TagId tag) const = 0;
+};
+
 /// Tag-based access path: for each tag, the list of elements with that tag
 /// in global document order — i.e. sorted by (doc, start), which is the
 /// input format required by the structural join of Al-Khalifa et al. [1].
@@ -80,6 +100,14 @@ class ElementIndex {
   ElementIndex(const Corpus* corpus, const TypeHierarchy* hierarchy,
                DocId doc_begin, DocId doc_end);
 
+  /// Builds a *packed* index: no corpus pass, no in-memory by-tag lists.
+  /// Scans are answered by `source` (the packed reader's element section)
+  /// and Count() by its directory — this is what makes OpenPacked O(1)
+  /// in corpus size. Merged supertype scans still work and still land in
+  /// the byte-budgeted merged cache.
+  ElementIndex(const Corpus* corpus, const TypeHierarchy* hierarchy,
+               std::shared_ptr<const ElementTableSource> source);
+
   ElementIndex(const ElementIndex&) = delete;
   ElementIndex& operator=(const ElementIndex&) = delete;
 
@@ -89,8 +117,10 @@ class ElementIndex {
   /// for the handle's lifetime (see ScanHandle).
   ScanHandle Scan(TagId tag) const;
 
-  /// Number of elements the scan returns — #(t), subtypes included.
-  size_t Count(TagId tag) const { return Scan(tag).size(); }
+  /// Number of elements the scan returns — #(t), subtypes included. In
+  /// packed mode a plain (non-supertype) count comes from the directory
+  /// without decoding the list.
+  size_t Count(TagId tag) const;
 
   /// Adjusts the merged-scan cache budget, evicting immediately if over.
   void SetMergedScanBudget(size_t budget_bytes);
@@ -131,6 +161,9 @@ class ElementIndex {
   DocId doc_end_ = 0;
   uint64_t source_generation_ = 0;
   std::vector<std::vector<NodeRef>> by_tag_;  ///< Indexed by TagId.
+  /// Packed mode: lists come from here instead of by_tag_ (which stays
+  /// empty). Shared with the StorageReader that owns the mapping.
+  std::shared_ptr<const ElementTableSource> table_source_;
   /// Lazily merged supertype scans (only when hierarchy_ is set),
   /// byte-bounded; entries are shared so eviction never dangles a
   /// handed-out handle. Sizes are exported as the

@@ -1,0 +1,126 @@
+#include "storage/codec.h"
+
+#include <algorithm>
+
+namespace flexpath {
+namespace storage {
+
+void PutVarint(uint64_t value, std::string* out) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<char>((value & 0x7F) | 0x80));
+    value >>= 7;
+  }
+  out->push_back(static_cast<char>(value));
+}
+
+Status GetVarint(std::string_view data, size_t* pos, uint64_t* out) {
+  uint64_t value = 0;
+  int shift = 0;
+  while (true) {
+    if (*pos >= data.size()) {
+      return Status::InvalidArgument("truncated varint");
+    }
+    const uint8_t byte = static_cast<uint8_t>(data[(*pos)++]);
+    if (shift >= 63 && byte > 1) {
+      return Status::InvalidArgument("varint overflow");
+    }
+    value |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+  }
+  *out = value;
+  return Status::OK();
+}
+
+Status EncodeKeyBlocks(const std::vector<uint64_t>& keys, std::string* out,
+                       std::vector<SkipEntry>* skips) {
+  const size_t base = out->size();
+  for (size_t i = 0; i < keys.size(); i += kBlockKeys) {
+    const size_t block_end = std::min(keys.size(), i + kBlockKeys);
+    if (i > 0 && keys[i] <= keys[i - 1]) {
+      return Status::InvalidArgument(
+          "key sequence is not strictly increasing at position " +
+          std::to_string(i));
+    }
+    SkipEntry skip;
+    skip.first_key = keys[i];
+    skip.offset = out->size() - base;
+    skip.count = static_cast<uint32_t>(block_end - i);
+    skips->push_back(skip);
+    PutVarint(keys[i], out);
+    for (size_t j = i + 1; j < block_end; ++j) {
+      if (keys[j] <= keys[j - 1]) {
+        return Status::InvalidArgument(
+            "key sequence is not strictly increasing at position " +
+            std::to_string(j));
+      }
+      PutVarint(keys[j] - keys[j - 1], out);
+    }
+  }
+  return Status::OK();
+}
+
+Status DecodeKeyBlocks(std::string_view data, uint64_t expect,
+                       std::vector<uint64_t>* out) {
+  out->clear();
+  out->reserve(expect);
+  size_t pos = 0;
+  while (out->size() < expect) {
+    const size_t block =
+        std::min<size_t>(kBlockKeys, expect - out->size());
+    uint64_t key = 0;
+    FLEXPATH_RETURN_IF_ERROR(GetVarint(data, &pos, &key));
+    if (!out->empty() && key <= out->back()) {
+      return Status::InvalidArgument("block first key does not increase");
+    }
+    out->push_back(key);
+    for (size_t j = 1; j < block; ++j) {
+      uint64_t delta = 0;
+      FLEXPATH_RETURN_IF_ERROR(GetVarint(data, &pos, &delta));
+      if (delta == 0) {
+        return Status::InvalidArgument("zero delta in key block");
+      }
+      if (key > UINT64_MAX - delta) {
+        return Status::InvalidArgument("key overflow in key block");
+      }
+      key += delta;
+      out->push_back(key);
+    }
+  }
+  if (pos != data.size()) {
+    return Status::InvalidArgument("trailing bytes after key blocks");
+  }
+  return Status::OK();
+}
+
+Status DecodeOneBlock(std::string_view data, uint64_t offset, uint32_t count,
+                      std::vector<uint64_t>* out) {
+  if (offset > data.size()) {
+    return Status::InvalidArgument("skip offset past end of list");
+  }
+  if (count > kBlockKeys) {
+    return Status::InvalidArgument("implausible block count");
+  }
+  out->clear();
+  out->reserve(count);
+  size_t pos = static_cast<size_t>(offset);
+  uint64_t key = 0;
+  for (uint32_t j = 0; j < count; ++j) {
+    uint64_t v = 0;
+    FLEXPATH_RETURN_IF_ERROR(GetVarint(data, &pos, &v));
+    if (j == 0) {
+      key = v;
+    } else {
+      if (v == 0) return Status::InvalidArgument("zero delta in key block");
+      if (key > UINT64_MAX - v) {
+        return Status::InvalidArgument("key overflow in key block");
+      }
+      key += v;
+    }
+    out->push_back(key);
+  }
+  return Status::OK();
+}
+
+}  // namespace storage
+}  // namespace flexpath

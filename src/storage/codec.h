@@ -1,0 +1,72 @@
+#ifndef FLEXPATH_STORAGE_CODEC_H_
+#define FLEXPATH_STORAGE_CODEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace flexpath {
+namespace storage {
+
+/// Low-level byte codec shared by the packed-corpus writer and reader
+/// (DESIGN.md §17): LEB128 varints plus delta-compressed blocks of
+/// strictly increasing uint64 keys with a fixed-width skip table, so a
+/// reader can seek to the block containing a key and decode only that
+/// block instead of the whole list.
+
+/// Appends `value` as a LEB128 varint (1-10 bytes).
+void PutVarint(uint64_t value, std::string* out);
+
+/// Bounds-checked varint reader over a byte range. `*pos` advances past
+/// the consumed bytes on success and is unspecified on error.
+Status GetVarint(std::string_view data, size_t* pos, uint64_t* out);
+
+/// Number of keys per delta block. Small enough that a point lookup
+/// decodes little; large enough that the skip table stays tiny (one
+/// 32-byte entry per block).
+inline constexpr size_t kBlockKeys = 128;
+
+/// One skip-table entry, fixed width so the reader can binary-search the
+/// mmap'd table directly. `first_key` is the first key of the block,
+/// `offset` the block's byte offset within the list's encoded region,
+/// `aggregate` a codec-client running total *before* this block (the
+/// posting writer stores the tf prefix sum there; element tables store
+/// the key ordinal), and `count` the number of keys in the block.
+struct SkipEntry {
+  uint64_t first_key = 0;
+  uint64_t offset = 0;
+  uint64_t aggregate = 0;
+  uint32_t count = 0;
+  uint32_t reserved = 0;
+};
+static_assert(sizeof(SkipEntry) == 32, "SkipEntry layout is part of the format");
+
+/// Encodes a strictly increasing key sequence as delta blocks of up to
+/// kBlockKeys keys: each block is [varint first_key][varint delta]*,
+/// deltas >= 1. Appends the encoded bytes to `out` and one SkipEntry per
+/// block to `skips` (offsets relative to the first appended byte;
+/// `aggregate` left 0 for the caller to fill). Returns InvalidArgument
+/// if the keys are not strictly increasing.
+Status EncodeKeyBlocks(const std::vector<uint64_t>& keys, std::string* out,
+                       std::vector<SkipEntry>* skips);
+
+/// Decodes the blocks of EncodeKeyBlocks back into keys. `expect` is the
+/// expected key count (from the directory); a mismatch, a non-positive
+/// delta, or a truncated block is an error, never a crash.
+Status DecodeKeyBlocks(std::string_view data, uint64_t expect,
+                       std::vector<uint64_t>* out);
+
+/// Decodes a single block (starting at `offset` within `data`) holding
+/// `count` keys. Used by skip-seeking readers to decode only the blocks
+/// overlapping a key range.
+Status DecodeOneBlock(std::string_view data, uint64_t offset, uint32_t count,
+                      std::vector<uint64_t>* out);
+
+}  // namespace storage
+}  // namespace flexpath
+
+#endif  // FLEXPATH_STORAGE_CODEC_H_

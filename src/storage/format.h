@@ -1,0 +1,121 @@
+#ifndef FLEXPATH_STORAGE_FORMAT_H_
+#define FLEXPATH_STORAGE_FORMAT_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace flexpath {
+namespace storage {
+
+/// The packed single-file corpus format (DESIGN.md §17). All multi-byte
+/// integers are little-endian; fixed-width directory records are padded
+/// to natural alignment and sections start on page boundaries, so a
+/// reader can point straight into the mapping without copying. Variable
+/// content (node streams, element-table blocks, posting blocks) is
+/// varint/delta coded per storage/codec.h.
+///
+/// Layout:
+///   FileHeader (page 0)
+///   SectionRecord table (immediately after the header)
+///   sections, each page-aligned, in SectionId order.
+
+inline constexpr uint64_t kMagic = 0x50524F434B505846ULL;  // "FXPKCORP" LE
+inline constexpr uint32_t kFormatVersion = 1;
+/// Written as a native u32; reads back as this value only on a
+/// same-endianness machine (the mmap'd directories are raw memory, so a
+/// cross-endian file is rejected rather than misread).
+inline constexpr uint32_t kEndianTag = 0x01020304;
+inline constexpr uint32_t kPageSize = 4096;
+
+/// Section identifiers; the section table is sorted by id.
+enum SectionId : uint32_t {
+  kSecTagNames = 1,      ///< tag_count varint-prefixed names.
+  kSecDocDir = 2,        ///< doc_count × DocDirRecord.
+  kSecNodeStreams = 3,   ///< per-doc varint node streams (see writer.cc).
+  kSecElemDir = 4,       ///< tag_count × ElemDirRecord.
+  kSecElemBlocks = 5,    ///< delta key blocks of the per-tag tables.
+  kSecElemSkips = 6,     ///< SkipEntry table for kSecElemBlocks.
+  kSecStats = 7,         ///< #(t)/#pc/#ad/existence tables (varint).
+  kSecTermDir = 8,       ///< term_count × TermDirRecord, term-sorted.
+  kSecTermStrings = 9,   ///< raw term bytes, referenced by TermDirRecord.
+  kSecPostBlocks = 10,   ///< block-compressed postings.
+  kSecPostSkips = 11,    ///< SkipEntry table for kSecPostBlocks.
+};
+inline constexpr uint32_t kSectionCount = 11;
+
+struct FileHeader {
+  uint64_t magic = kMagic;
+  uint32_t version = kFormatVersion;
+  uint32_t endian_tag = kEndianTag;
+  uint32_t page_size = kPageSize;
+  uint32_t tokenizer_flags = 0;  ///< bit0: stem, bit1: drop_stopwords.
+  uint64_t file_bytes = 0;       ///< Total file size (truncation check).
+  uint64_t doc_count = 0;
+  uint64_t total_nodes = 0;
+  uint64_t tag_count = 0;
+  uint64_t term_count = 0;
+  uint64_t total_elements = 0;   ///< InvertedIndex::total_elements().
+  uint32_t section_count = kSectionCount;
+  uint32_t reserved = 0;
+};
+static_assert(sizeof(FileHeader) == 80, "FileHeader layout is the format");
+
+struct SectionRecord {
+  uint32_t id = 0;
+  uint32_t reserved = 0;
+  uint64_t offset = 0;  ///< Absolute byte offset; page aligned.
+  uint64_t length = 0;  ///< Exact byte length (padding not included).
+};
+static_assert(sizeof(SectionRecord) == 24, "SectionRecord layout");
+
+/// One document: where its varint node stream lives inside
+/// kSecNodeStreams, and how many element nodes it holds (so the corpus
+/// can answer DocSize() without touching the stream).
+struct DocDirRecord {
+  uint64_t offset = 0;
+  uint64_t length = 0;
+  uint32_t node_count = 0;
+  uint32_t reserved = 0;
+};
+static_assert(sizeof(DocDirRecord) == 24, "DocDirRecord layout");
+
+/// One tag's element table: `count` strictly increasing NodeRef keys
+/// ((doc << 32) | node) in kSecElemBlocks, with `skip_count` SkipEntry
+/// records starting at index `skip_index` of kSecElemSkips.
+struct ElemDirRecord {
+  uint64_t count = 0;
+  uint64_t offset = 0;  ///< Into kSecElemBlocks.
+  uint64_t length = 0;
+  uint64_t skip_index = 0;
+  uint32_t skip_count = 0;
+  uint32_t reserved = 0;
+};
+static_assert(sizeof(ElemDirRecord) == 40, "ElemDirRecord layout");
+
+/// One term: its bytes in kSecTermStrings, document frequency and total
+/// term frequency (so Idf and stats need no posting decode), and its
+/// block-compressed postings + skip entries. The skip `aggregate` field
+/// carries the tf prefix sum before each block, which is what lets
+/// range-tf lookups seek without decompressing the whole list.
+struct TermDirRecord {
+  uint64_t str_offset = 0;
+  uint32_t str_length = 0;
+  uint32_t df = 0;
+  uint64_t total_tf = 0;
+  uint64_t post_offset = 0;  ///< Into kSecPostBlocks.
+  uint64_t post_length = 0;
+  uint64_t skip_index = 0;
+  uint32_t skip_count = 0;
+  uint32_t reserved = 0;
+};
+static_assert(sizeof(TermDirRecord) == 56, "TermDirRecord layout");
+
+/// Rounds `n` up to the next page boundary.
+inline uint64_t PageAlign(uint64_t n) {
+  return (n + kPageSize - 1) / kPageSize * kPageSize;
+}
+
+}  // namespace storage
+}  // namespace flexpath
+
+#endif  // FLEXPATH_STORAGE_FORMAT_H_

@@ -1,0 +1,44 @@
+#ifndef FLEXPATH_STORAGE_MMAP_FILE_H_
+#define FLEXPATH_STORAGE_MMAP_FILE_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace flexpath {
+namespace storage {
+
+/// A read-only memory-mapped file. The mapping lives for the object's
+/// lifetime; view() is a zero-copy window over the whole file.
+class MmapFile {
+ public:
+  MmapFile() = default;
+  ~MmapFile();
+
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  /// Opens and maps `path` read-only. An empty file maps to an empty
+  /// view (valid, size 0).
+  static Result<MmapFile> Open(const std::string& path);
+
+  std::string_view view() const {
+    return std::string_view(static_cast<const char*>(data_), size_);
+  }
+  size_t size() const { return size_; }
+  bool valid() const { return data_ != nullptr || size_ == 0; }
+
+ private:
+  void* data_ = nullptr;
+  size_t size_ = 0;
+  bool mapped_ = false;
+};
+
+}  // namespace storage
+}  // namespace flexpath
+
+#endif  // FLEXPATH_STORAGE_MMAP_FILE_H_

@@ -1,0 +1,676 @@
+#include "storage/reader.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "common/log.h"
+#include "common/metrics.h"
+#include "storage/codec.h"
+
+namespace flexpath {
+namespace storage {
+
+namespace {
+
+Counter* ColdBlockDecodes() {
+  static Counter* c =
+      MetricsRegistry::Global().counter("storage.cold_block_decodes");
+  return c;
+}
+
+NodeRef RefOf(uint64_t key) {
+  return NodeRef{static_cast<DocId>(key >> 32),
+                 static_cast<NodeId>(key & 0xffffffffULL)};
+}
+
+uint64_t KeyOf(NodeRef ref) {
+  return (static_cast<uint64_t>(ref.doc) << 32) | ref.node;
+}
+
+/// Reads a varint-length-prefixed string.
+Status GetString(std::string_view data, size_t* pos, std::string* out) {
+  uint64_t len = 0;
+  FLEXPATH_RETURN_IF_ERROR(GetVarint(data, pos, &len));
+  if (len > data.size() - *pos) {
+    return Status::InvalidArgument("truncated string");
+  }
+  out->assign(data.data() + *pos, static_cast<size_t>(len));
+  *pos += static_cast<size_t>(len);
+  return Status::OK();
+}
+
+/// Expected skip-block count for an `n`-key list.
+uint64_t BlocksFor(uint64_t n) { return (n + kBlockKeys - 1) / kBlockKeys; }
+
+/// Charged pool size of a decoded element table.
+size_t TagListBytes(const std::vector<NodeRef>& list) {
+  return sizeof(std::vector<NodeRef>) + list.capacity() * sizeof(NodeRef);
+}
+
+/// Charged pool size of a decoded posting list.
+size_t PostingListBytes(const PostingList& list) {
+  size_t bytes = sizeof(PostingList);
+  bytes += list.postings.capacity() * sizeof(Posting);
+  for (const Posting& p : list.postings) {
+    bytes += p.positions.capacity() * sizeof(uint32_t);
+  }
+  bytes += list.tf_prefix.capacity() * sizeof(uint64_t);
+  return bytes;
+}
+
+/// First index in [0, n) whose skip first_key is >= key, by binary
+/// search over the mmap'd skip slice.
+size_t SkipLowerBound(const SkipEntry* skips, size_t n, uint64_t key) {
+  size_t lo = 0;
+  size_t hi = n;
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (skips[mid].first_key < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+Status DecodePairMap(std::string_view data, size_t* pos,
+                     std::unordered_map<uint64_t, uint64_t>* out) {
+  uint64_t n = 0;
+  FLEXPATH_RETURN_IF_ERROR(GetVarint(data, pos, &n));
+  if (n > data.size() - *pos) {  // >= 2 bytes per entry would also hold.
+    return Status::InvalidArgument("implausible stats map size");
+  }
+  out->reserve(static_cast<size_t>(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t key = 0;
+    uint64_t count = 0;
+    FLEXPATH_RETURN_IF_ERROR(GetVarint(data, pos, &key));
+    FLEXPATH_RETURN_IF_ERROR(GetVarint(data, pos, &count));
+    (*out)[key] = count;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::shared_ptr<StorageReader>> StorageReader::Open(
+    const std::string& path, Options options) {
+  const auto t0 = std::chrono::steady_clock::now();
+  Result<MmapFile> file = MmapFile::Open(path);
+  if (!file.ok()) return file.status();
+  // Not make_shared: the ctor is private.
+  std::shared_ptr<StorageReader> reader(new StorageReader());
+  reader->file_ = std::move(file).value();
+  FLEXPATH_RETURN_IF_ERROR(reader->Validate());
+  reader->SetPoolBudgets(options.elem_pool_bytes, options.post_pool_bytes);
+  const double open_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  MetricsRegistry::Global()
+      .histogram("storage.open_ms")
+      ->Observe(open_ms);
+  FLEXPATH_LOG_INFO("storage", "packed corpus opened", {"path", path},
+                    {"bytes", reader->header_.file_bytes},
+                    {"docs", reader->header_.doc_count},
+                    {"terms", reader->header_.term_count},
+                    {"open_ms", open_ms});
+  return reader;
+}
+
+Status StorageReader::Validate() {
+  const std::string_view view = file_.view();
+  if (view.size() < sizeof(FileHeader)) {
+    return Status::InvalidArgument("file too small for a packed corpus");
+  }
+  std::memcpy(&header_, view.data(), sizeof(FileHeader));
+  if (header_.magic != kMagic) {
+    return Status::InvalidArgument("not a packed corpus (bad magic)");
+  }
+  if (header_.endian_tag != kEndianTag) {
+    return Status::InvalidArgument(
+        "packed corpus was written on a machine with different endianness");
+  }
+  if (header_.version != kFormatVersion) {
+    return Status::InvalidArgument(
+        "unsupported packed corpus version " +
+        std::to_string(header_.version) + " (reader supports " +
+        std::to_string(kFormatVersion) + ")");
+  }
+  if (header_.page_size != kPageSize) {
+    return Status::InvalidArgument("unsupported page size " +
+                                   std::to_string(header_.page_size));
+  }
+  if (header_.section_count != kSectionCount) {
+    return Status::InvalidArgument("unexpected section count");
+  }
+  if (header_.file_bytes != view.size()) {
+    return Status::InvalidArgument(
+        "truncated packed corpus: header says " +
+        std::to_string(header_.file_bytes) + " bytes, file has " +
+        std::to_string(view.size()));
+  }
+  const size_t table_bytes = kSectionCount * sizeof(SectionRecord);
+  if (view.size() < sizeof(FileHeader) + table_bytes) {
+    return Status::InvalidArgument("truncated section table");
+  }
+  section_table_.resize(kSectionCount);
+  std::memcpy(section_table_.data(), view.data() + sizeof(FileHeader),
+              table_bytes);
+  for (uint32_t i = 0; i < kSectionCount; ++i) {
+    const SectionRecord& rec = section_table_[i];
+    if (rec.id != i + 1) {
+      return Status::InvalidArgument("section table out of order");
+    }
+    if (rec.offset % kPageSize != 0) {
+      return Status::InvalidArgument("section not page-aligned");
+    }
+    if (rec.offset > view.size() || rec.length > view.size() - rec.offset) {
+      return Status::InvalidArgument("section extends past end of file");
+    }
+  }
+
+  // Fixed-width directories: exact length check, then point straight
+  // into the mapping (page alignment makes the casts aligned).
+  const std::string_view doc_dir = Section(kSecDocDir);
+  if (doc_dir.size() != header_.doc_count * sizeof(DocDirRecord)) {
+    return Status::InvalidArgument("document directory length mismatch");
+  }
+  doc_dir_ = reinterpret_cast<const DocDirRecord*>(doc_dir.data());
+  const std::string_view streams = Section(kSecNodeStreams);
+  for (uint64_t d = 0; d < header_.doc_count; ++d) {
+    const DocDirRecord& rec = doc_dir_[d];
+    if (rec.offset > streams.size() ||
+        rec.length > streams.size() - rec.offset) {
+      return Status::InvalidArgument("node stream out of bounds for doc " +
+                                     std::to_string(d));
+    }
+  }
+
+  const std::string_view elem_dir = Section(kSecElemDir);
+  if (elem_dir.size() != header_.tag_count * sizeof(ElemDirRecord)) {
+    return Status::InvalidArgument("element directory length mismatch");
+  }
+  elem_dir_ = reinterpret_cast<const ElemDirRecord*>(elem_dir.data());
+  const std::string_view elem_skips = Section(kSecElemSkips);
+  if (elem_skips.size() % sizeof(SkipEntry) != 0) {
+    return Status::InvalidArgument("element skip table length mismatch");
+  }
+  elem_skips_ = reinterpret_cast<const SkipEntry*>(elem_skips.data());
+  elem_skip_count_ = elem_skips.size() / sizeof(SkipEntry);
+  const std::string_view elem_blocks = Section(kSecElemBlocks);
+  for (uint64_t t = 0; t < header_.tag_count; ++t) {
+    const ElemDirRecord& rec = elem_dir_[t];
+    if (rec.offset > elem_blocks.size() ||
+        rec.length > elem_blocks.size() - rec.offset ||
+        rec.skip_count != BlocksFor(rec.count) ||
+        rec.skip_index > elem_skip_count_ ||
+        rec.skip_count > elem_skip_count_ - rec.skip_index) {
+      return Status::InvalidArgument("element directory entry " +
+                                     std::to_string(t) + " out of bounds");
+    }
+  }
+
+  const std::string_view term_dir = Section(kSecTermDir);
+  if (term_dir.size() != header_.term_count * sizeof(TermDirRecord)) {
+    return Status::InvalidArgument("term directory length mismatch");
+  }
+  term_dir_ = reinterpret_cast<const TermDirRecord*>(term_dir.data());
+  const std::string_view post_skips = Section(kSecPostSkips);
+  if (post_skips.size() % sizeof(SkipEntry) != 0) {
+    return Status::InvalidArgument("posting skip table length mismatch");
+  }
+  post_skips_ = reinterpret_cast<const SkipEntry*>(post_skips.data());
+  post_skip_count_ = post_skips.size() / sizeof(SkipEntry);
+  const std::string_view strings = Section(kSecTermStrings);
+  const std::string_view post_blocks = Section(kSecPostBlocks);
+  for (uint64_t t = 0; t < header_.term_count; ++t) {
+    const TermDirRecord& rec = term_dir_[t];
+    if (rec.str_offset > strings.size() ||
+        rec.str_length > strings.size() - rec.str_offset ||
+        rec.post_offset > post_blocks.size() ||
+        rec.post_length > post_blocks.size() - rec.post_offset ||
+        rec.df == 0 || rec.skip_count != BlocksFor(rec.df) ||
+        rec.skip_index > post_skip_count_ ||
+        rec.skip_count > post_skip_count_ - rec.skip_index) {
+      return Status::InvalidArgument("term directory entry " +
+                                     std::to_string(t) + " out of bounds");
+    }
+    if (t > 0 && !(TermBytes(term_dir_[t - 1]) < TermBytes(rec))) {
+      return Status::InvalidArgument("term directory is not sorted");
+    }
+  }
+  return Status::OK();
+}
+
+Status StorageReader::LoadTags(TagDict* dict) const {
+  if (dict->size() != 0) {
+    return Status::InvalidArgument("tag dictionary must be empty");
+  }
+  const std::string_view sec = Section(kSecTagNames);
+  size_t pos = 0;
+  std::string name;
+  for (uint64_t t = 0; t < header_.tag_count; ++t) {
+    FLEXPATH_RETURN_IF_ERROR(GetString(sec, &pos, &name));
+    if (dict->Intern(name) != static_cast<TagId>(t)) {
+      return Status::InvalidArgument("duplicate tag name in packed corpus");
+    }
+  }
+  if (pos != sec.size()) {
+    return Status::InvalidArgument("trailing bytes after tag names");
+  }
+  return Status::OK();
+}
+
+Result<DocumentStats::Tables> StorageReader::LoadStatsTables() const {
+  const std::string_view sec = Section(kSecStats);
+  size_t pos = 0;
+  DocumentStats::Tables tables;
+  uint64_t n = 0;
+  FLEXPATH_RETURN_IF_ERROR(GetVarint(sec, &pos, &n));
+  if (n != header_.tag_count) {
+    return Status::InvalidArgument("stats tag-count table length mismatch");
+  }
+  tables.tag_counts.resize(static_cast<size_t>(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    FLEXPATH_RETURN_IF_ERROR(GetVarint(sec, &pos, &tables.tag_counts[i]));
+  }
+  FLEXPATH_RETURN_IF_ERROR(DecodePairMap(sec, &pos, &tables.pc_counts));
+  FLEXPATH_RETURN_IF_ERROR(DecodePairMap(sec, &pos, &tables.ad_counts));
+  FLEXPATH_RETURN_IF_ERROR(DecodePairMap(sec, &pos, &tables.pc_exists));
+  FLEXPATH_RETURN_IF_ERROR(DecodePairMap(sec, &pos, &tables.ad_exists));
+  if (pos != sec.size()) {
+    return Status::InvalidArgument("trailing bytes after stats tables");
+  }
+  return tables;
+}
+
+size_t StorageReader::DocNodeCount(DocId id) const {
+  return id < header_.doc_count ? doc_dir_[id].node_count : 0;
+}
+
+Result<Document> StorageReader::MaterializeDocument(DocId id) const {
+  if (id >= header_.doc_count) {
+    return Status::OutOfRange("document id out of range");
+  }
+  static Counter* m_decodes =
+      MetricsRegistry::Global().counter("storage.doc_decodes");
+  static Counter* m_bytes =
+      MetricsRegistry::Global().counter("storage.doc_decode_bytes");
+  const DocDirRecord& rec = doc_dir_[id];
+  const std::string_view stream = Section(kSecNodeStreams)
+                                      .substr(static_cast<size_t>(rec.offset),
+                                              static_cast<size_t>(rec.length));
+  std::vector<Element> nodes(rec.node_count);
+  size_t pos = 0;
+  for (uint32_t n = 0; n < rec.node_count; ++n) {
+    Element& e = nodes[n];
+    uint64_t tag = 0;
+    uint64_t parent = 0;
+    uint64_t first_child = 0;
+    uint64_t next_sibling = 0;
+    uint64_t start = 0;
+    uint64_t end = 0;
+    uint64_t level = 0;
+    FLEXPATH_RETURN_IF_ERROR(GetVarint(stream, &pos, &tag));
+    FLEXPATH_RETURN_IF_ERROR(GetVarint(stream, &pos, &parent));
+    FLEXPATH_RETURN_IF_ERROR(GetVarint(stream, &pos, &first_child));
+    FLEXPATH_RETURN_IF_ERROR(GetVarint(stream, &pos, &next_sibling));
+    FLEXPATH_RETURN_IF_ERROR(GetVarint(stream, &pos, &start));
+    FLEXPATH_RETURN_IF_ERROR(GetVarint(stream, &pos, &end));
+    FLEXPATH_RETURN_IF_ERROR(GetVarint(stream, &pos, &level));
+    if (tag >= header_.tag_count || parent > rec.node_count ||
+        first_child > rec.node_count || next_sibling > rec.node_count ||
+        start > UINT32_MAX || end > UINT32_MAX || level > UINT32_MAX) {
+      return Status::InvalidArgument("corrupt node record in doc " +
+                                     std::to_string(id));
+    }
+    e.tag = static_cast<TagId>(tag);
+    e.parent = parent == 0 ? kInvalidNode : static_cast<NodeId>(parent - 1);
+    e.first_child =
+        first_child == 0 ? kInvalidNode : static_cast<NodeId>(first_child - 1);
+    e.next_sibling = next_sibling == 0
+                         ? kInvalidNode
+                         : static_cast<NodeId>(next_sibling - 1);
+    e.start = static_cast<uint32_t>(start);
+    e.end = static_cast<uint32_t>(end);
+    e.level = static_cast<uint32_t>(level);
+    FLEXPATH_RETURN_IF_ERROR(GetString(stream, &pos, &e.text));
+    uint64_t attr_count = 0;
+    FLEXPATH_RETURN_IF_ERROR(GetVarint(stream, &pos, &attr_count));
+    if (attr_count > stream.size() - pos) {
+      return Status::InvalidArgument("implausible attribute count");
+    }
+    e.attrs.resize(static_cast<size_t>(attr_count));
+    for (Attribute& a : e.attrs) {
+      uint64_t name = 0;
+      FLEXPATH_RETURN_IF_ERROR(GetVarint(stream, &pos, &name));
+      if (name >= header_.tag_count) {
+        return Status::InvalidArgument("corrupt attribute name");
+      }
+      a.name = static_cast<TagId>(name);
+      FLEXPATH_RETURN_IF_ERROR(GetString(stream, &pos, &a.value));
+    }
+  }
+  if (pos != stream.size()) {
+    return Status::InvalidArgument("trailing bytes in node stream of doc " +
+                                   std::to_string(id));
+  }
+  m_decodes->Inc();
+  m_bytes->Inc(rec.length);
+  return Document::Assemble(std::move(nodes));
+}
+
+size_t StorageReader::TagListCount(TagId tag) const {
+  return tag < header_.tag_count
+             ? static_cast<size_t>(elem_dir_[tag].count)
+             : 0;
+}
+
+std::shared_ptr<const std::vector<NodeRef>> StorageReader::TagList(
+    TagId tag) const {
+  static Counter* m_hits =
+      MetricsRegistry::Global().counter("storage.elem_pool_hits");
+  static Counter* m_misses =
+      MetricsRegistry::Global().counter("storage.elem_pool_misses");
+  if (tag >= header_.tag_count) {
+    return std::make_shared<const std::vector<NodeRef>>();
+  }
+  MutexLock lock(elem_pool_mu_);
+  if (std::shared_ptr<const std::vector<NodeRef>> hit = elem_pool_.Get(tag)) {
+    ++elem_hits_;
+    m_hits->Inc();
+    return hit;
+  }
+  ++elem_misses_;
+  m_misses->Inc();
+  const ElemDirRecord& rec = elem_dir_[tag];
+  const std::string_view bytes = Section(kSecElemBlocks)
+                                     .substr(static_cast<size_t>(rec.offset),
+                                             static_cast<size_t>(rec.length));
+  std::vector<uint64_t> keys;
+  const Status decoded = DecodeKeyBlocks(bytes, rec.count, &keys);
+  auto list = std::make_shared<std::vector<NodeRef>>();
+  if (decoded.ok()) {
+    list->reserve(keys.size());
+    for (uint64_t key : keys) list->push_back(RefOf(key));
+    ColdBlockDecodes()->Inc(rec.skip_count);
+  } else {
+    // TagList cannot return a Status; an empty list is well-defined (the
+    // tag matches nothing) and the log line surfaces the corruption.
+    FLEXPATH_LOG_ERROR("storage", "element table decode failed",
+                       {"tag", static_cast<uint64_t>(tag)},
+                       {"error", decoded.ToString()});
+  }
+  std::shared_ptr<const std::vector<NodeRef>> owned = std::move(list);
+  elem_pool_.Put(tag, owned, TagListBytes(*owned));
+  return owned;
+}
+
+std::string_view StorageReader::TermBytes(const TermDirRecord& rec) const {
+  return Section(kSecTermStrings)
+      .substr(static_cast<size_t>(rec.str_offset), rec.str_length);
+}
+
+int64_t StorageReader::FindTermIndex(std::string_view term) const {
+  int64_t lo = 0;
+  int64_t hi = static_cast<int64_t>(header_.term_count);
+  while (lo < hi) {
+    const int64_t mid = lo + (hi - lo) / 2;
+    if (TermBytes(term_dir_[mid]) < term) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo < static_cast<int64_t>(header_.term_count) &&
+      TermBytes(term_dir_[lo]) == term) {
+    return lo;
+  }
+  return -1;
+}
+
+bool StorageReader::TermInfo(const std::string& term, uint32_t* df,
+                             uint64_t* total_tf) const {
+  const int64_t idx = FindTermIndex(term);
+  if (idx < 0) return false;
+  *df = term_dir_[idx].df;
+  *total_tf = term_dir_[idx].total_tf;
+  return true;
+}
+
+Status StorageReader::DecodePostingBlock(std::string_view post_bytes,
+                                         const SkipEntry& skip,
+                                         std::vector<Posting>* out) const {
+  if (skip.offset > post_bytes.size()) {
+    return Status::InvalidArgument("posting skip offset out of bounds");
+  }
+  if (skip.count > kBlockKeys) {
+    return Status::InvalidArgument("implausible posting block count");
+  }
+  size_t pos = static_cast<size_t>(skip.offset);
+  uint64_t key = 0;
+  for (uint32_t j = 0; j < skip.count; ++j) {
+    uint64_t v = 0;
+    FLEXPATH_RETURN_IF_ERROR(GetVarint(post_bytes, &pos, &v));
+    if (j == 0) {
+      key = v;
+    } else {
+      if (v == 0) {
+        return Status::InvalidArgument("zero key delta in posting block");
+      }
+      if (key > UINT64_MAX - v) {
+        return Status::InvalidArgument("key overflow in posting block");
+      }
+      key += v;
+    }
+    uint64_t tf = 0;
+    FLEXPATH_RETURN_IF_ERROR(GetVarint(post_bytes, &pos, &tf));
+    // Each position costs >= 1 byte, so tf can never exceed the bytes
+    // left — rejects corrupt tf values before they drive an allocation.
+    if (tf == 0 || tf > post_bytes.size() - pos + 1) {
+      return Status::InvalidArgument("implausible posting tf");
+    }
+    Posting p;
+    p.node = RefOf(key);
+    p.tf = static_cast<uint32_t>(tf);
+    p.positions.reserve(static_cast<size_t>(tf));
+    uint64_t position = 0;
+    for (uint64_t k = 0; k < tf; ++k) {
+      uint64_t pv = 0;
+      FLEXPATH_RETURN_IF_ERROR(GetVarint(post_bytes, &pos, &pv));
+      if (k == 0) {
+        position = pv;
+      } else {
+        if (pv == 0) {
+          return Status::InvalidArgument("zero position delta");
+        }
+        position += pv;
+      }
+      if (position > UINT32_MAX) {
+        return Status::InvalidArgument("position overflow");
+      }
+      p.positions.push_back(static_cast<uint32_t>(position));
+    }
+    out->push_back(std::move(p));
+  }
+  ColdBlockDecodes()->Inc();
+  return Status::OK();
+}
+
+std::shared_ptr<const PostingList> StorageReader::FindPostings(
+    const std::string& term) const {
+  static Counter* m_hits =
+      MetricsRegistry::Global().counter("storage.post_pool_hits");
+  static Counter* m_misses =
+      MetricsRegistry::Global().counter("storage.post_pool_misses");
+  const int64_t idx = FindTermIndex(term);
+  if (idx < 0) return nullptr;
+  MutexLock lock(post_pool_mu_);
+  if (std::shared_ptr<const PostingList> hit =
+          post_pool_.Get(static_cast<uint32_t>(idx))) {
+    ++post_hits_;
+    m_hits->Inc();
+    return hit;
+  }
+  ++post_misses_;
+  m_misses->Inc();
+  const TermDirRecord& rec = term_dir_[idx];
+  const std::string_view bytes =
+      Section(kSecPostBlocks)
+          .substr(static_cast<size_t>(rec.post_offset),
+                  static_cast<size_t>(rec.post_length));
+  auto list = std::make_shared<PostingList>();
+  list->postings.reserve(rec.df);
+  Status decoded = Status::OK();
+  for (uint32_t b = 0; b < rec.skip_count && decoded.ok(); ++b) {
+    decoded = DecodePostingBlock(bytes, post_skips_[rec.skip_index + b],
+                                 &list->postings);
+  }
+  if (decoded.ok() && list->postings.size() != rec.df) {
+    decoded = Status::InvalidArgument("posting count mismatch");
+  }
+  if (!decoded.ok()) {
+    // Same contract as TagList: corruption yields an empty (matches
+    // nothing) list plus a log line, never a crash.
+    FLEXPATH_LOG_ERROR("storage", "posting list decode failed",
+                       {"term", term}, {"error", decoded.ToString()});
+    list->postings.clear();
+  }
+  list->tf_prefix.resize(list->postings.size() + 1, 0);
+  for (size_t i = 0; i < list->postings.size(); ++i) {
+    list->tf_prefix[i + 1] = list->tf_prefix[i] + list->postings[i].tf;
+  }
+  std::shared_ptr<const PostingList> owned = std::move(list);
+  post_pool_.Put(static_cast<uint32_t>(idx), owned, PostingListBytes(*owned));
+  return owned;
+}
+
+Result<uint64_t> StorageReader::RangeTermFrequency(const std::string& term,
+                                                   uint64_t lo_key,
+                                                   uint64_t hi_key) const {
+  static Counter* m_seeks =
+      MetricsRegistry::Global().counter("storage.range_tf_seeks");
+  if (lo_key >= hi_key) return uint64_t{0};
+  const int64_t idx = FindTermIndex(term);
+  if (idx < 0) return uint64_t{0};
+  const TermDirRecord& rec = term_dir_[idx];
+  // Pooled fast path: an already-decoded list answers from its prefix
+  // sums, exactly like the in-memory index.
+  {
+    MutexLock lock(post_pool_mu_);
+    if (std::shared_ptr<const PostingList> list =
+            post_pool_.Get(static_cast<uint32_t>(idx))) {
+      ++post_hits_;
+      auto lower = [&](uint64_t key) {
+        auto it = std::lower_bound(
+            list->postings.begin(), list->postings.end(), key,
+            [](const Posting& p, uint64_t k) { return KeyOf(p.node) < k; });
+        return static_cast<size_t>(it - list->postings.begin());
+      };
+      return list->tf_prefix[lower(hi_key)] - list->tf_prefix[lower(lo_key)];
+    }
+  }
+  m_seeks->Inc();
+  const SkipEntry* skips = post_skips_ + rec.skip_index;
+  const std::string_view bytes =
+      Section(kSecPostBlocks)
+          .substr(static_cast<size_t>(rec.post_offset),
+                  static_cast<size_t>(rec.post_length));
+  // F(key) = sum of tf over postings with node key < `key`; the answer
+  // is F(hi) - F(lo). Block b = the last block whose first key is below
+  // `key`: earlier blocks are wholly below (their tf is the skip
+  // aggregate), later ones wholly at-or-above, so only block b decodes.
+  std::vector<Posting> block;
+  auto prefix_tf = [&](uint64_t key) -> Result<uint64_t> {
+    const size_t at_or_above = SkipLowerBound(skips, rec.skip_count, key);
+    if (at_or_above == 0) return uint64_t{0};
+    const SkipEntry& skip = skips[at_or_above - 1];
+    block.clear();
+    FLEXPATH_RETURN_IF_ERROR(DecodePostingBlock(bytes, skip, &block));
+    uint64_t partial = 0;
+    for (const Posting& p : block) {
+      if (KeyOf(p.node) >= key) break;
+      partial += p.tf;
+    }
+    return skip.aggregate + partial;
+  };
+  Result<uint64_t> hi = prefix_tf(hi_key);
+  if (!hi.ok()) return hi.status();
+  Result<uint64_t> lo = prefix_tf(lo_key);
+  if (!lo.ok()) return lo.status();
+  return hi.value() - lo.value();
+}
+
+StorageReader::PoolStats StorageReader::GetElemPoolStats() const {
+  MutexLock lock(elem_pool_mu_);
+  PoolStats s;
+  s.hits = elem_hits_;
+  s.misses = elem_misses_;
+  s.evictions = elem_pool_.evictions();
+  s.entries = elem_pool_.size();
+  s.bytes = elem_pool_.bytes();
+  s.budget = elem_pool_.budget();
+  return s;
+}
+
+StorageReader::PoolStats StorageReader::GetPostPoolStats() const {
+  MutexLock lock(post_pool_mu_);
+  PoolStats s;
+  s.hits = post_hits_;
+  s.misses = post_misses_;
+  s.evictions = post_pool_.evictions();
+  s.entries = post_pool_.size();
+  s.bytes = post_pool_.bytes();
+  s.budget = post_pool_.budget();
+  return s;
+}
+
+void StorageReader::SetPoolBudgets(size_t elem_pool_bytes,
+                                   size_t post_pool_bytes) {
+  {
+    MutexLock lock(elem_pool_mu_);
+    elem_pool_.SetBudget(elem_pool_bytes);
+  }
+  MutexLock lock(post_pool_mu_);
+  post_pool_.SetBudget(post_pool_bytes);
+}
+
+std::string StorageReader::InspectJson() const {
+  std::string out = "{\n";
+  auto field = [&](const std::string& key, uint64_t value, bool comma) {
+    out += "  \"" + key + "\": " + std::to_string(value) +
+           (comma ? ",\n" : "\n");
+  };
+  out += "  \"magic\": \"FXPKCORP\",\n";
+  field("version", header_.version, true);
+  field("page_size", header_.page_size, true);
+  field("tokenizer_flags", header_.tokenizer_flags, true);
+  field("file_bytes", header_.file_bytes, true);
+  field("doc_count", header_.doc_count, true);
+  field("total_nodes", header_.total_nodes, true);
+  field("tag_count", header_.tag_count, true);
+  field("term_count", header_.term_count, true);
+  field("total_elements", header_.total_elements, true);
+  out += "  \"sections\": [\n";
+  static constexpr const char* kSectionNames[] = {
+      "tag_names",   "doc_dir",    "node_streams", "elem_dir",
+      "elem_blocks", "elem_skips", "stats",        "term_dir",
+      "term_strings", "post_blocks", "post_skips"};
+  for (uint32_t i = 0; i < kSectionCount; ++i) {
+    const SectionRecord& rec = section_table_[i];
+    out += "    {\"id\": " + std::to_string(rec.id) + ", \"name\": \"" +
+           kSectionNames[i] + "\", \"offset\": " +
+           std::to_string(rec.offset) + ", \"length\": " +
+           std::to_string(rec.length) + "}" +
+           (i + 1 < kSectionCount ? ",\n" : "\n");
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+}  // namespace storage
+}  // namespace flexpath

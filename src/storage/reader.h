@@ -1,0 +1,180 @@
+#ifndef FLEXPATH_STORAGE_READER_H_
+#define FLEXPATH_STORAGE_READER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/lru_cache.h"
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "ir/inverted_index.h"
+#include "ir/tokenizer.h"
+#include "stats/document_stats.h"
+#include "stats/element_index.h"
+#include "storage/codec.h"
+#include "storage/format.h"
+#include "storage/mmap_file.h"
+#include "xml/corpus.h"
+
+namespace flexpath {
+namespace storage {
+
+/// The zero-copy read side of the packed corpus format: one mmap, no
+/// upfront decode. StorageReader is simultaneously
+///  - the CorpusBacking a lazy Corpus materializes documents from,
+///  - the ElementTableSource a packed ElementIndex scans through, and
+///  - the PostingSource a packed InvertedIndex resolves terms against,
+/// so one object (and one mapping) serves the whole read path.
+///
+/// Fixed-width structures (directories, skip tables) are *pointed at* in
+/// the mapping — never copied. Variable structures (element tables,
+/// posting lists) decode on first touch into two byte-budgeted LRU buffer
+/// pools; handed-out shared_ptrs pin entries across eviction exactly like
+/// the engine's other caches. Open() validates the header, section table,
+/// and directory bounds and returns a Status — corrupt or truncated files
+/// are an error, never a crash — but does not touch block payloads, which
+/// is why opening a multi-GB corpus is O(directories), not O(data).
+///
+/// Thread safety: all methods are const and safe for concurrent use; the
+/// pools are internally locked.
+/// Buffer-pool budgets for StorageReader::Open.
+struct ReaderOptions {
+  /// Byte budget of the element-table buffer pool.
+  size_t elem_pool_bytes = size_t{64} << 20;
+  /// Byte budget of the posting-list buffer pool.
+  size_t post_pool_bytes = size_t{64} << 20;
+};
+
+class StorageReader : public CorpusBacking,
+                      public ElementTableSource,
+                      public PostingSource {
+ public:
+  using Options = ReaderOptions;
+
+  /// Maps `path` and validates everything reachable without decoding
+  /// blocks: magic, version, endianness, page size, section table, and
+  /// all directory records (bounds against their sections).
+  static Result<std::shared_ptr<StorageReader>> Open(
+      const std::string& path, Options options = Options());
+
+  ~StorageReader() override = default;
+  StorageReader(const StorageReader&) = delete;
+  StorageReader& operator=(const StorageReader&) = delete;
+
+  // ---- Header-level accessors. ----
+  const FileHeader& header() const { return header_; }
+  TokenizerOptions tokenizer_options() const {
+    TokenizerOptions opts;
+    opts.stem = (header_.tokenizer_flags & 1u) != 0;
+    opts.drop_stopwords = (header_.tokenizer_flags & 2u) != 0;
+    return opts;
+  }
+
+  /// Interns all tag names, in file order, into `dict` (which must be
+  /// empty — packed tag ids are positional).
+  Status LoadTags(TagDict* dict) const;
+
+  /// Deserializes the statistics tables (for DocumentStats's packed
+  /// ctor).
+  Result<DocumentStats::Tables> LoadStatsTables() const;
+
+  /// Human-readable header/section dump (the `flexpath_pack --inspect`
+  /// output, also uploaded as a CI artifact).
+  std::string InspectJson() const;
+
+  // ---- CorpusBacking. ----
+  size_t DocCount() const override {
+    return static_cast<size_t>(header_.doc_count);
+  }
+  size_t DocNodeCount(DocId id) const override;
+  Result<Document> MaterializeDocument(DocId id) const override;
+
+  // ---- ElementTableSource. ----
+  size_t TagListCount(TagId tag) const override;
+  std::shared_ptr<const std::vector<NodeRef>> TagList(
+      TagId tag) const override;
+
+  // ---- PostingSource. ----
+  bool TermInfo(const std::string& term, uint32_t* df,
+                uint64_t* total_tf) const override;
+  std::shared_ptr<const PostingList> FindPostings(
+      const std::string& term) const override;
+  Result<uint64_t> RangeTermFrequency(const std::string& term,
+                                      uint64_t lo_key,
+                                      uint64_t hi_key) const override;
+  size_t TermCount() const override {
+    return static_cast<size_t>(header_.term_count);
+  }
+
+  // ---- Buffer-pool introspection (the /metrics + :cache surface). ----
+  struct PoolStats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    size_t entries = 0;
+    size_t bytes = 0;
+    size_t budget = 0;
+  };
+  PoolStats GetElemPoolStats() const;
+  PoolStats GetPostPoolStats() const;
+  void SetPoolBudgets(size_t elem_pool_bytes, size_t post_pool_bytes);
+
+ private:
+  StorageReader()
+      : elem_pool_(Options().elem_pool_bytes),
+        post_pool_(Options().post_pool_bytes) {}
+
+  /// Section payload bytes (exact length, padding excluded).
+  std::string_view Section(uint32_t id) const {
+    const SectionRecord& rec = section_table_[id - 1];
+    return file_.view().substr(static_cast<size_t>(rec.offset),
+                               static_cast<size_t>(rec.length));
+  }
+
+  /// Validates header/sections/directories; called once by Open.
+  Status Validate();
+
+  /// Index of `term` in the term directory, or -1.
+  int64_t FindTermIndex(std::string_view term) const;
+  std::string_view TermBytes(const TermDirRecord& rec) const;
+
+  /// Decodes one posting block (posting `skip.count` entries starting at
+  /// `skip.offset` of `post_bytes`) appending to `out`.
+  Status DecodePostingBlock(std::string_view post_bytes,
+                            const SkipEntry& skip,
+                            std::vector<Posting>* out) const;
+
+  MmapFile file_;
+  FileHeader header_;
+  std::vector<SectionRecord> section_table_;  ///< Indexed by id - 1.
+
+  // Mmap-pointed fixed-width directories (set by Validate).
+  const DocDirRecord* doc_dir_ = nullptr;
+  const ElemDirRecord* elem_dir_ = nullptr;
+  const SkipEntry* elem_skips_ = nullptr;
+  size_t elem_skip_count_ = 0;
+  const TermDirRecord* term_dir_ = nullptr;
+  const SkipEntry* post_skips_ = nullptr;
+  size_t post_skip_count_ = 0;
+
+  mutable Mutex elem_pool_mu_;
+  mutable LruByteCache<TagId, std::vector<NodeRef>> elem_pool_
+      GUARDED_BY(elem_pool_mu_);
+  mutable uint64_t elem_hits_ GUARDED_BY(elem_pool_mu_) = 0;
+  mutable uint64_t elem_misses_ GUARDED_BY(elem_pool_mu_) = 0;
+
+  mutable Mutex post_pool_mu_;
+  mutable LruByteCache<uint32_t, PostingList> post_pool_
+      GUARDED_BY(post_pool_mu_);
+  mutable uint64_t post_hits_ GUARDED_BY(post_pool_mu_) = 0;
+  mutable uint64_t post_misses_ GUARDED_BY(post_pool_mu_) = 0;
+};
+
+}  // namespace storage
+}  // namespace flexpath
+
+#endif  // FLEXPATH_STORAGE_READER_H_

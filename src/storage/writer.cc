@@ -1,0 +1,303 @@
+#include "storage/writer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "ir/inverted_index.h"
+#include "stats/document_stats.h"
+#include "storage/codec.h"
+#include "storage/format.h"
+
+namespace flexpath {
+namespace storage {
+
+namespace {
+
+/// NodeRef → the strictly increasing key the element/posting sections
+/// sort by. (doc, node) order == global document order.
+uint64_t KeyOf(NodeRef ref) {
+  return (static_cast<uint64_t>(ref.doc) << 32) | ref.node;
+}
+
+/// kInvalidNode-safe NodeId encoding: 0 = none, else id + 1.
+uint64_t PlusOne(NodeId id) {
+  return id == kInvalidNode ? 0 : static_cast<uint64_t>(id) + 1;
+}
+
+void PutString(std::string_view s, std::string* out) {
+  PutVarint(s.size(), out);
+  out->append(s.data(), s.size());
+}
+
+/// Serializes one document as the varint node stream the reader's
+/// MaterializeDocument parses. Field order is the format.
+void EncodeDocument(const Document& doc, std::string* out) {
+  for (NodeId n = 0; n < doc.size(); ++n) {
+    const Element& e = doc.node(n);
+    PutVarint(e.tag, out);
+    PutVarint(PlusOne(e.parent), out);
+    PutVarint(PlusOne(e.first_child), out);
+    PutVarint(PlusOne(e.next_sibling), out);
+    PutVarint(e.start, out);
+    PutVarint(e.end, out);
+    PutVarint(e.level, out);
+    PutString(e.text, out);
+    PutVarint(e.attrs.size(), out);
+    for (const Attribute& a : e.attrs) {
+      PutVarint(a.name, out);
+      PutString(a.value, out);
+    }
+  }
+}
+
+/// Serializes a pair-count map as sorted (key, count) varint pairs —
+/// sorted so packing is deterministic.
+void EncodePairMap(const std::unordered_map<uint64_t, uint64_t>& m,
+                   std::string* out) {
+  std::vector<std::pair<uint64_t, uint64_t>> entries(m.begin(), m.end());
+  std::sort(entries.begin(), entries.end());
+  PutVarint(entries.size(), out);
+  for (const auto& [key, count] : entries) {
+    PutVarint(key, out);
+    PutVarint(count, out);
+  }
+}
+
+/// Encodes one posting list as interleaved delta blocks: per posting a
+/// key (absolute for the block's first posting, delta otherwise), the
+/// tf, then tf position values (first absolute, rest deltas). One
+/// SkipEntry per block with aggregate = tf prefix sum before the block,
+/// which is what RangeTermFrequency seeks on.
+Status EncodePostingBlocks(const PostingList& list, std::string* out,
+                           std::vector<SkipEntry>* skips) {
+  const size_t base = out->size();
+  uint64_t tf_before = 0;
+  for (size_t i = 0; i < list.postings.size(); i += kBlockKeys) {
+    const size_t block_end = std::min(list.postings.size(), i + kBlockKeys);
+    SkipEntry skip;
+    skip.first_key = KeyOf(list.postings[i].node);
+    skip.offset = out->size() - base;
+    skip.aggregate = tf_before;
+    skip.count = static_cast<uint32_t>(block_end - i);
+    skips->push_back(skip);
+    for (size_t j = i; j < block_end; ++j) {
+      const Posting& p = list.postings[j];
+      const uint64_t key = KeyOf(p.node);
+      if (j == i) {
+        PutVarint(key, out);
+      } else {
+        const uint64_t prev = KeyOf(list.postings[j - 1].node);
+        if (key <= prev) {
+          return Status::InvalidArgument("posting list is not sorted");
+        }
+        PutVarint(key - prev, out);
+      }
+      if (p.tf == 0 || p.positions.size() != p.tf) {
+        return Status::InvalidArgument("posting tf/positions mismatch");
+      }
+      PutVarint(p.tf, out);
+      for (size_t k = 0; k < p.positions.size(); ++k) {
+        if (k == 0) {
+          PutVarint(p.positions[0], out);
+        } else {
+          if (p.positions[k] <= p.positions[k - 1]) {
+            return Status::InvalidArgument("positions are not increasing");
+          }
+          PutVarint(p.positions[k] - p.positions[k - 1], out);
+        }
+      }
+      tf_before += p.tf;
+    }
+  }
+  return Status::OK();
+}
+
+/// Raw-copies a POD record into a byte string.
+template <typename T>
+void AppendPod(const T& value, std::string* out) {
+  out->append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+}  // namespace
+
+Status WritePackedCorpus(const Corpus& corpus, const TokenizerOptions& opts,
+                         const std::string& path, PackResult* result) {
+  // ---- Build the in-memory indexes the file snapshots. ----
+  const InvertedIndex index(&corpus, opts);
+  const DocumentStats stats(&corpus);
+  const size_t tag_count = corpus.tags().size();
+
+  // ---- Section payloads, keyed by SectionId. ----
+  std::map<uint32_t, std::string> sections;
+
+  // Tag names, in id order.
+  {
+    std::string& sec = sections[kSecTagNames];
+    for (TagId t = 0; t < tag_count; ++t) {
+      PutString(corpus.tags().Name(t), &sec);
+    }
+  }
+
+  // Node streams + document directory.
+  {
+    std::string& streams = sections[kSecNodeStreams];
+    std::string& dir = sections[kSecDocDir];
+    for (DocId d = 0; d < corpus.size(); ++d) {
+      const Document& doc = corpus.doc(d);
+      DocDirRecord rec;
+      rec.offset = streams.size();
+      EncodeDocument(doc, &streams);
+      rec.length = streams.size() - rec.offset;
+      rec.node_count = static_cast<uint32_t>(doc.size());
+      AppendPod(rec, &dir);
+    }
+  }
+
+  // Per-tag element tables: the by-(doc, start) lists ElementIndex
+  // serves, as delta key blocks with a shared skip table.
+  {
+    std::vector<std::vector<uint64_t>> by_tag(tag_count);
+    for (DocId d = 0; d < corpus.size(); ++d) {
+      const Document& doc = corpus.doc(d);
+      for (NodeId n = 0; n < doc.size(); ++n) {
+        const TagId tag = doc.node(n).tag;
+        if (tag < tag_count) by_tag[tag].push_back(KeyOf(NodeRef{d, n}));
+      }
+    }
+    std::string& blocks = sections[kSecElemBlocks];
+    std::string& dir = sections[kSecElemDir];
+    std::vector<SkipEntry> skips;
+    for (TagId t = 0; t < tag_count; ++t) {
+      ElemDirRecord rec;
+      rec.count = by_tag[t].size();
+      rec.offset = blocks.size();
+      rec.skip_index = skips.size();
+      std::vector<SkipEntry> tag_skips;
+      FLEXPATH_RETURN_IF_ERROR(
+          EncodeKeyBlocks(by_tag[t], &blocks, &tag_skips));
+      // Element-table aggregates carry the key ordinal before each block.
+      for (size_t b = 0; b < tag_skips.size(); ++b) {
+        tag_skips[b].aggregate = b * kBlockKeys;
+      }
+      rec.length = blocks.size() - rec.offset;
+      rec.skip_count = static_cast<uint32_t>(tag_skips.size());
+      skips.insert(skips.end(), tag_skips.begin(), tag_skips.end());
+      AppendPod(rec, &dir);
+    }
+    std::string& skip_sec = sections[kSecElemSkips];
+    for (const SkipEntry& s : skips) AppendPod(s, &skip_sec);
+  }
+
+  // Statistics tables.
+  {
+    std::string& sec = sections[kSecStats];
+    const DocumentStats::Tables tables = stats.ExportTables();
+    PutVarint(tables.tag_counts.size(), &sec);
+    for (uint64_t c : tables.tag_counts) PutVarint(c, &sec);
+    EncodePairMap(tables.pc_counts, &sec);
+    EncodePairMap(tables.ad_counts, &sec);
+    EncodePairMap(tables.pc_exists, &sec);
+    EncodePairMap(tables.ad_exists, &sec);
+  }
+
+  // Term directory (sorted by term bytes, so the reader binary-searches
+  // the mmap'd records), term strings, posting blocks, posting skips.
+  uint64_t term_count = 0;
+  {
+    std::vector<std::pair<std::string, const PostingList*>> terms;
+    index.ForEachTerm([&](const std::string& term, const PostingList& list) {
+      terms.emplace_back(term, &list);
+    });
+    std::sort(terms.begin(), terms.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    term_count = terms.size();
+
+    std::string& dir = sections[kSecTermDir];
+    std::string& strings = sections[kSecTermStrings];
+    std::string& blocks = sections[kSecPostBlocks];
+    std::vector<SkipEntry> skips;
+    for (const auto& [term, list] : terms) {
+      TermDirRecord rec;
+      rec.str_offset = strings.size();
+      rec.str_length = static_cast<uint32_t>(term.size());
+      strings.append(term);
+      rec.df = static_cast<uint32_t>(list->postings.size());
+      rec.total_tf = list->tf_prefix.empty() ? 0 : list->tf_prefix.back();
+      rec.post_offset = blocks.size();
+      rec.skip_index = skips.size();
+      std::vector<SkipEntry> term_skips;
+      FLEXPATH_RETURN_IF_ERROR(
+          EncodePostingBlocks(*list, &blocks, &term_skips));
+      rec.post_length = blocks.size() - rec.post_offset;
+      rec.skip_count = static_cast<uint32_t>(term_skips.size());
+      skips.insert(skips.end(), term_skips.begin(), term_skips.end());
+      AppendPod(rec, &dir);
+    }
+    std::string& skip_sec = sections[kSecPostSkips];
+    for (const SkipEntry& s : skips) AppendPod(s, &skip_sec);
+  }
+
+  // ---- Lay out the file: header, section table, page-aligned data. ----
+  FileHeader header;
+  header.tokenizer_flags = (opts.stem ? 1u : 0u) |
+                           (opts.drop_stopwords ? 2u : 0u);
+  header.doc_count = corpus.size();
+  header.total_nodes = corpus.TotalNodes();
+  header.tag_count = tag_count;
+  header.term_count = term_count;
+  header.total_elements = index.total_elements();
+
+  std::vector<SectionRecord> table;
+  uint64_t cursor =
+      PageAlign(sizeof(FileHeader) + kSectionCount * sizeof(SectionRecord));
+  for (uint32_t id = 1; id <= kSectionCount; ++id) {
+    SectionRecord rec;
+    rec.id = id;
+    rec.offset = cursor;
+    rec.length = sections[id].size();
+    cursor = PageAlign(cursor + rec.length);
+    table.push_back(rec);
+  }
+  header.file_bytes = cursor;
+
+  // ---- Write it out. ----
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal("cannot create " + path);
+  }
+  std::string head;
+  AppendPod(header, &head);
+  for (const SectionRecord& rec : table) AppendPod(rec, &head);
+  head.resize(table.empty() ? PageAlign(head.size())
+                            : static_cast<size_t>(table[0].offset),
+              '\0');
+  bool ok = std::fwrite(head.data(), 1, head.size(), f) == head.size();
+  for (size_t i = 0; ok && i < table.size(); ++i) {
+    std::string& payload = sections[table[i].id];
+    const uint64_t end = i + 1 < table.size() ? table[i + 1].offset
+                                              : header.file_bytes;
+    payload.resize(static_cast<size_t>(end - table[i].offset), '\0');
+    ok = std::fwrite(payload.data(), 1, payload.size(), f) == payload.size();
+  }
+  if (std::fclose(f) != 0) ok = false;
+  if (!ok) {
+    std::remove(path.c_str());
+    return Status::Internal("short write to " + path);
+  }
+
+  if (result != nullptr) {
+    result->file_bytes = header.file_bytes;
+    result->doc_count = header.doc_count;
+    result->tag_count = header.tag_count;
+    result->term_count = header.term_count;
+    result->total_nodes = header.total_nodes;
+  }
+  return Status::OK();
+}
+
+}  // namespace storage
+}  // namespace flexpath

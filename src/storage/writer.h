@@ -1,0 +1,41 @@
+#ifndef FLEXPATH_STORAGE_WRITER_H_
+#define FLEXPATH_STORAGE_WRITER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "ir/tokenizer.h"
+#include "xml/corpus.h"
+
+namespace flexpath {
+namespace storage {
+
+/// Summary of one pack run, for CLI/bench reporting.
+struct PackResult {
+  uint64_t file_bytes = 0;
+  uint64_t doc_count = 0;
+  uint64_t tag_count = 0;
+  uint64_t term_count = 0;
+  uint64_t total_nodes = 0;
+};
+
+/// Serializes `corpus` — documents, per-tag element tables, statistics
+/// tables, and a full inverted index tokenized with `opts` — into the
+/// packed single-file format (format.h) at `path`. The file is
+/// self-contained: OpenPacked needs nothing but the file to answer
+/// queries byte-identically to an index built in memory over the same
+/// corpus with the same TokenizerOptions (which are recorded in the
+/// header so the two sides cannot disagree).
+///
+/// Packing builds the in-memory InvertedIndex and DocumentStats as
+/// intermediate state, so it costs what Build() costs plus serialization
+/// — the payoff is every subsequent open.
+Status WritePackedCorpus(const Corpus& corpus, const TokenizerOptions& opts,
+                         const std::string& path,
+                         PackResult* result = nullptr);
+
+}  // namespace storage
+}  // namespace flexpath
+
+#endif  // FLEXPATH_STORAGE_WRITER_H_

@@ -9,7 +9,14 @@ namespace flexpath {
 
 namespace {
 
-constexpr std::string_view kMagic = "FXP1";
+constexpr std::string_view kMagic = "FXP2";
+constexpr std::string_view kOldMagicV1 = "FXP1";
+constexpr uint64_t kSnapshotVersion = 2;
+/// Fixed byte sentinel after the version: catches corrupted headers and
+/// writers that emitted raw multi-byte integers in a different byte
+/// order (the payload itself is varints + strings, which are
+/// byte-order independent — the guard protects the header contract).
+constexpr std::string_view kEndianMark = "\x01\x02\x03\x04";
 
 void PutVarint(uint64_t value, std::string* out) {
   while (value >= 0x80) {
@@ -59,6 +66,15 @@ class Reader {
     return Status::OK();
   }
 
+  Status ReadBytes(size_t n, std::string* out) {
+    if (n > data_.size() - pos_ || pos_ >= data_.size()) {
+      return Status::InvalidArgument("truncated corpus snapshot header");
+    }
+    out->assign(data_.substr(pos_, n));
+    pos_ += n;
+    return Status::OK();
+  }
+
   bool AtEnd() const { return pos_ >= data_.size(); }
 
  private:
@@ -71,6 +87,8 @@ class Reader {
 std::string EncodeCorpus(const Corpus& corpus) {
   std::string out;
   out.append(kMagic);
+  PutVarint(kSnapshotVersion, &out);
+  out.append(kEndianMark);
   const TagDict& tags = corpus.tags();
   PutVarint(tags.size(), &out);
   for (TagId t = 0; t < tags.size(); ++t) PutString(tags.Name(t), &out);
@@ -97,10 +115,34 @@ std::string EncodeCorpus(const Corpus& corpus) {
 }
 
 Result<Corpus> DecodeCorpus(std::string_view data) {
+  if (data.size() < kMagic.size()) {
+    return Status::InvalidArgument(
+        "truncated corpus snapshot: shorter than the magic header");
+  }
   if (data.substr(0, kMagic.size()) != kMagic) {
+    if (data.substr(0, kOldMagicV1.size()) == kOldMagicV1) {
+      return Status::InvalidArgument(
+          "unsupported snapshot version: this is a FXP1 (version 1) "
+          "snapshot; re-save it with this build (which writes FXP2)");
+    }
     return Status::InvalidArgument("not a FleXPath corpus snapshot");
   }
   Reader reader(data.substr(kMagic.size()));
+  uint64_t version = 0;
+  FLEXPATH_RETURN_IF_ERROR(reader.ReadVarint(&version));
+  if (version != kSnapshotVersion) {
+    return Status::InvalidArgument(
+        "unsupported snapshot version " + std::to_string(version) +
+        " (this build reads version " + std::to_string(kSnapshotVersion) +
+        ")");
+  }
+  std::string endian_mark;
+  FLEXPATH_RETURN_IF_ERROR(reader.ReadBytes(kEndianMark.size(), &endian_mark));
+  if (endian_mark != kEndianMark) {
+    return Status::InvalidArgument(
+        "corpus snapshot byte-order guard mismatch: the file was written "
+        "with a different byte order or its header is corrupt");
+  }
   Corpus corpus;
 
   uint64_t tag_count = 0;

@@ -12,11 +12,18 @@ namespace flexpath {
 /// Compact binary snapshot of a corpus (tag dictionary + documents with
 /// structure, text and attributes), so large collections load without
 /// re-parsing XML. Varint-encoded; format:
-///   magic "FXP1" | tag dictionary | document count | per document:
-///   node count, then per node: tag, parent+1, text, attribute list.
+///   magic "FXP2" | version varint (= 2) | byte-order guard 01 02 03 04 |
+///   tag dictionary | document count | per document: node count, then per
+///   node: tag, parent+1, text, attribute list.
 /// Interval numbers and sibling links are *recomputed* on load (they are
 /// derivable), which keeps the snapshot small and the loader the single
 /// source of truth for the encoding invariants.
+///
+/// Version history: "FXP1" snapshots (no version byte, no byte-order
+/// guard) are rejected with a clear "unsupported snapshot version"
+/// Status — re-save with this build. The payload is varints + strings
+/// and therefore byte-order independent; the guard exists to reject
+/// corrupted headers and any writer that emitted raw integers.
 std::string EncodeCorpus(const Corpus& corpus);
 
 /// Decodes a snapshot produced by EncodeCorpus. Fails (without crashing)

@@ -1,7 +1,9 @@
 #include "xml/corpus.h"
 
 #include <atomic>
+#include <utility>
 
+#include "common/log.h"
 #include "xml/parser.h"
 
 namespace flexpath {
@@ -24,9 +26,42 @@ Result<DocId> Corpus::AddXml(std::string_view xml) {
   return Add(std::move(doc).value());
 }
 
+void Corpus::AttachBacking(std::shared_ptr<const CorpusBacking> backing) {
+  backing_ = std::move(backing);
+  const size_t n = backing_->DocCount();
+  docs_.clear();
+  docs_.resize(n);  // Empty slots; filled on first touch.
+  materialized_ = std::make_unique<std::atomic<bool>[]>(n);
+  for (size_t i = 0; i < n; ++i) {
+    materialized_[i].store(false, std::memory_order_relaxed);
+  }
+  materialize_mu_ = std::make_unique<Mutex>();
+  generation_ =
+      g_corpus_generation.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+void Corpus::MaterializeSlow(DocId id) const {
+  MutexLock lock(*materialize_mu_);
+  if (materialized_[id].load(std::memory_order_relaxed)) return;
+  Result<Document> doc = backing_->MaterializeDocument(id);
+  if (doc.ok()) {
+    docs_[id] = std::move(doc).value();
+  } else {
+    // doc() cannot return a Status; an empty document keeps the engine
+    // well-defined (the doc simply matches nothing) while the log line
+    // makes the corruption visible.
+    FLEXPATH_LOG_ERROR("storage", "document materialization failed",
+                       {"doc", static_cast<uint64_t>(id)},
+                       {"error", doc.status().ToString()});
+  }
+  materialized_[id].store(true, std::memory_order_release);
+}
+
 size_t Corpus::TotalNodes() const {
   size_t n = 0;
-  for (const Document& d : docs_) n += d.size();
+  for (size_t i = 0; i < docs_.size(); ++i) {
+    n += DocSize(static_cast<DocId>(i));
+  }
   return n;
 }
 

@@ -1,12 +1,15 @@
 #ifndef FLEXPATH_XML_CORPUS_H_
 #define FLEXPATH_XML_CORPUS_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string_view>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "xml/document.h"
 #include "xml/tag_dict.h"
@@ -36,10 +39,39 @@ struct NodeRefHash {
   }
 };
 
+/// Pluggable on-demand document source. A backed corpus (see
+/// Corpus::AttachBacking) starts with every slot empty and decodes a
+/// document the first time it is touched — this is what makes
+/// FlexPath::OpenPacked pay-per-touch instead of load-everything. The
+/// packed-file implementation lives in storage/reader.h; the interface is
+/// declared here so xml/ stays independent of storage/.
+class CorpusBacking {
+ public:
+  virtual ~CorpusBacking() = default;
+
+  /// Number of documents the backing can produce.
+  virtual size_t DocCount() const = 0;
+
+  /// Element-node count of document `id`, answered without decoding it.
+  virtual size_t DocNodeCount(DocId id) const = 0;
+
+  /// Decodes document `id`. Called at most once per slot (the corpus
+  /// memoizes the result); errors surface as an empty document plus a
+  /// log line, since doc() cannot return a Status.
+  virtual Result<Document> MaterializeDocument(DocId id) const = 0;
+};
+
 /// A collection of XML documents sharing one tag dictionary. This is the
 /// "XML database D" of the paper. Documents are immutable once added;
 /// indexes (see src/ir, src/stats, src/exec) are built over a frozen
 /// corpus.
+///
+/// Two modes: an in-memory corpus owns its documents outright (Add /
+/// AddXml), while a backed corpus (AttachBacking) materializes documents
+/// lazily from a CorpusBacking. In both modes doc()/node() hand out
+/// references that stay valid for the corpus lifetime — a materialized
+/// document is never evicted, so downstream indexes can hold Element
+/// pointers exactly as they always have.
 class Corpus {
  public:
   Corpus() = default;
@@ -50,31 +82,55 @@ class Corpus {
 
   /// Adds an already-built document (e.g., from DocumentBuilder or the
   /// XMark generator). The document must have been built against tags().
+  /// Must not be called on a backed corpus.
   DocId Add(Document doc);
 
   /// Parses `xml` and adds the resulting document.
   Result<DocId> AddXml(std::string_view xml);
 
+  /// Switches this (empty) corpus to lazy mode: `size()` becomes
+  /// `backing->DocCount()`, all slots start unmaterialized, and tag
+  /// names must already have been interned into tags() by the caller.
+  /// Bumps generation like Add.
+  void AttachBacking(std::shared_ptr<const CorpusBacking> backing);
+
+  bool backed() const { return backing_ != nullptr; }
+
   size_t size() const { return docs_.size(); }
-  const Document& doc(DocId id) const { return docs_[id]; }
+
+  const Document& doc(DocId id) const {
+    if (backing_ != nullptr &&
+        !materialized_[id].load(std::memory_order_acquire)) {
+      MaterializeSlow(id);
+    }
+    return docs_[id];
+  }
+
   const Element& node(NodeRef ref) const {
-    return docs_[ref.doc].node(ref.node);
+    return doc(ref.doc).node(ref.node);
+  }
+
+  /// Element count of document `id` without materializing it.
+  size_t DocSize(DocId id) const {
+    return backing_ != nullptr ? backing_->DocNodeCount(id)
+                               : docs_[id].size();
   }
 
   TagDict* tags() { return &tags_; }
   const TagDict& tags() const { return tags_; }
 
-  /// Total number of element nodes across all documents.
+  /// Total number of element nodes across all documents. Served from the
+  /// directory in backed mode (no materialization).
   size_t TotalNodes() const;
 
   /// True iff `a` is a proper ancestor of `d` (requires same document).
   bool IsAncestor(NodeRef a, NodeRef d) const {
-    return a.doc == d.doc && docs_[a.doc].IsAncestor(a.node, d.node);
+    return a.doc == d.doc && doc(a.doc).IsAncestor(a.node, d.node);
   }
 
   /// True iff `a` is the parent of `d` (requires same document).
   bool IsParent(NodeRef a, NodeRef d) const {
-    return a.doc == d.doc && docs_[a.doc].IsParent(a.node, d.node);
+    return a.doc == d.doc && doc(a.doc).IsParent(a.node, d.node);
   }
 
   /// Content-state counter for cache invalidation: 0 for an empty corpus,
@@ -86,9 +142,21 @@ class Corpus {
   uint64_t generation() const { return generation_; }
 
  private:
+  /// Cold path of doc(): decodes and installs the document under
+  /// materialize_mu_, then release-stores the flag the fast path
+  /// acquire-loads — so a reader that skips the lock still sees the
+  /// fully written Document.
+  void MaterializeSlow(DocId id) const;
+
   TagDict tags_;
-  std::vector<Document> docs_;
+  /// Slots are written at most once after AttachBacking (under
+  /// materialize_mu_, published via materialized_[id]); logically const.
+  mutable std::vector<Document> docs_;
   uint64_t generation_ = 0;
+
+  std::shared_ptr<const CorpusBacking> backing_;
+  mutable std::unique_ptr<std::atomic<bool>[]> materialized_;
+  mutable std::unique_ptr<Mutex> materialize_mu_;
 };
 
 }  // namespace flexpath

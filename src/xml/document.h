@@ -79,6 +79,16 @@ class Document {
   /// Returns the value of attribute `name` on `id`, or nullptr if absent.
   const std::string* FindAttribute(NodeId id, TagId name) const;
 
+  /// Wraps an already-valid node vector (pre-order, interval-numbered)
+  /// as a Document — used by deserializers (binary_codec, storage) that
+  /// reproduce nodes exactly as a builder once emitted them. Performs no
+  /// validation.
+  static Document Assemble(std::vector<Element> nodes) {
+    Document doc;
+    doc.nodes_ = std::move(nodes);
+    return doc;
+  }
+
  private:
   friend class DocumentBuilder;
   std::vector<Element> nodes_;

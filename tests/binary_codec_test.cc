@@ -85,6 +85,60 @@ TEST(BinaryCodecTest, RejectsBadMagic) {
   EXPECT_FALSE(DecodeCorpus("FXP2xxxxxx").ok());
 }
 
+TEST(BinaryCodecTest, RejectsOldFormatVersionWithClearMessage) {
+  // A v1 snapshot ("FXP1" magic, no version byte, no byte-order guard)
+  // must be called out as an *old version*, not generic corruption —
+  // the message tells the user to re-save rather than suspect their
+  // file.
+  const std::string old_snapshot = "FXP1junk-payload";
+  Result<Corpus> r = DecodeCorpus(old_snapshot);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("unsupported snapshot version"),
+            std::string::npos)
+      << r.status().ToString();
+  EXPECT_NE(r.status().ToString().find("re-save"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(BinaryCodecTest, RejectsFutureFormatVersion) {
+  auto corpus = testing_util::CorpusFromXml({"<a/>"});
+  std::string data = EncodeCorpus(*corpus);
+  // The version varint sits right after the 4-byte magic; current
+  // version (2) is a single byte. Patch it to 77.
+  ASSERT_EQ(data[4], 2);
+  data[4] = 77;
+  Result<Corpus> r = DecodeCorpus(data);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("unsupported snapshot version 77"),
+            std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(BinaryCodecTest, RejectsByteOrderGuardMismatch) {
+  auto corpus = testing_util::CorpusFromXml({"<a/>"});
+  std::string data = EncodeCorpus(*corpus);
+  // Reverse the 4-byte guard (bytes 5..8: after magic + version) as a
+  // byte-swapped writer would have produced it.
+  std::swap(data[5], data[8]);
+  std::swap(data[6], data[7]);
+  Result<Corpus> r = DecodeCorpus(data);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("byte order"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(BinaryCodecTest, RejectsHeaderOnlyTruncation) {
+  // Cuts inside the version varint and the byte-order guard — shorter
+  // than any payload — must fail cleanly, not index out of bounds.
+  auto corpus = testing_util::CorpusFromXml({"<a/>"});
+  const std::string data = EncodeCorpus(*corpus);
+  for (size_t cut = 0; cut < 9; ++cut) {
+    EXPECT_FALSE(
+        DecodeCorpus(std::string_view(data).substr(0, cut)).ok())
+        << "cut at " << cut;
+  }
+}
+
 TEST(BinaryCodecTest, RejectsTruncation) {
   auto corpus = testing_util::CorpusFromXml({"<a><b>hello</b></a>"});
   std::string data = EncodeCorpus(*corpus);

@@ -10,6 +10,7 @@
 // Plus a repetition test: the same Hybrid query run 20 times on an
 // 8-thread pool yields byte-identical ranked output every time.
 #include <algorithm>
+#include <cstdio>
 #include <map>
 #include <set>
 #include <string>
@@ -18,6 +19,7 @@
 #include <gtest/gtest.h>
 
 #include "common/random.h"
+#include "core/flexpath.h"
 #include "exec/evaluator.h"
 #include "exec/naive_evaluator.h"
 #include "exec/plan.h"
@@ -290,7 +292,63 @@ TEST(DifferentialTest, ShardedMatchesSingleShardForAllAlgorithms) {
   }
 }
 
-// 4. Determinism under repetition: the same Hybrid top-K on an 8-thread
+// 4. Packed vs in-memory, full cross product: algorithm × rank scheme ×
+// shard count × thread count. One FlexPath instance builds in memory;
+// a second opens the packed file the first saved. The storage engine's
+// contract (DESIGN.md §17) is byte-identity of everything result-shaped
+// — ranked answers with scores, relaxation metadata, and every
+// execution counter — because the packed read path serves exactly the
+// structures the in-memory build holds, just lazily and from the mmap.
+TEST(DifferentialTest, PackedMatchesInMemory) {
+  constexpr Algorithm kAlgos[] = {Algorithm::kDpo, Algorithm::kSso,
+                                  Algorithm::kHybrid};
+  constexpr RankScheme kSchemes[] = {RankScheme::kStructureFirst,
+                                     RankScheme::kKeywordFirst,
+                                     RankScheme::kCombined};
+  constexpr size_t kShardCounts[] = {1, 2};
+  constexpr size_t kThreadCounts[] = {1, 4};
+
+  Rng rng(20260809);
+  FlexPath mem;
+  for (int i = 0; i < 6; ++i) {
+    mem.AddDocument(testing_util::RandomDocument(&rng, mem.tags(), 90));
+  }
+  const std::string path =
+      ::testing::TempDir() + "/flexpath_diff_packed.fxp";
+  ASSERT_TRUE(mem.SavePacked(path).ok());
+  ASSERT_TRUE(mem.Build().ok());
+
+  FlexPath packed;
+  const Status open = packed.OpenPacked(path);
+  ASSERT_TRUE(open.ok()) << open.ToString();
+
+  for (int iter = 0; iter < 10; ++iter) {
+    const Tpq q = testing_util::RandomTpq(&rng, mem.tags(), 5);
+    const RankScheme scheme = kSchemes[iter % 3];
+    for (Algorithm algo : kAlgos) {
+      TopKOptions opts;
+      opts.k = 10;
+      opts.scheme = scheme;
+      for (size_t shards : kShardCounts) {
+        for (size_t threads : kThreadCounts) {
+          opts.num_shards = shards;
+          opts.num_threads = threads;
+          Result<TopKResult> a = mem.QueryTpq(q, opts, algo, "diff");
+          Result<TopKResult> b = packed.QueryTpq(q, opts, algo, "diff");
+          ASSERT_TRUE(a.ok()) << a.status().ToString();
+          ASSERT_TRUE(b.ok()) << b.status().ToString();
+          EXPECT_EQ(Fingerprint(*b), Fingerprint(*a))
+              << "iter " << iter << " " << AlgorithmName(algo) << " "
+              << SchemeName(scheme) << " shards=" << shards
+              << " threads=" << threads;
+        }
+      }
+    }
+  }
+  std::remove(path.c_str());
+}
+
+// 5. Determinism under repetition: the same Hybrid top-K on an 8-thread
 // pool, 20 times over — every repetition must produce a byte-identical
 // fingerprint (ranked answers with scores, penalty_applied, counters).
 // A scheduling-dependent merge would make this flake immediately.

@@ -3,9 +3,14 @@
 // and the thread-pool primitives must survive adversarial usage
 // (concurrent submitters, tasks spawning tasks, teardown under load,
 // exceptions, empty fan-outs). Plus shard-boundary fuzzing: random
-// partition cut points must never change a query's answer digest.
+// partition cut points must never change a query's answer digest, and
+// storage fuzzing: the packed-corpus codec round-trips adversarial key
+// sequences, and a StorageReader fed corrupted pages returns a Status
+// (or correct data) — never a crash.
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
+#include <fstream>
 #include <memory>
 #include <numeric>
 #include <stdexcept>
@@ -26,6 +31,9 @@
 #include "shard/sharded_corpus.h"
 #include "stats/document_stats.h"
 #include "stats/element_index.h"
+#include "storage/codec.h"
+#include "storage/reader.h"
+#include "storage/writer.h"
 #include "tests/test_util.h"
 #include "xml/parser.h"
 #include "xml/serializer.h"
@@ -268,6 +276,143 @@ TEST(FuzzTest, ShardBoundariesNeverChangeAnswers) {
     EXPECT_EQ(AnswersDigest(result->answers), reference)
         << "iter " << iter << " shards=" << sharded.num_shards();
   }
+}
+
+// --- Packed storage --------------------------------------------------------
+
+// Codec round-trip fuzzing with adversarial delta shapes: runs of
+// delta 1 (worst case for the strict-increase check), huge jumps
+// (multi-byte varints), keys starting at 0, and sequences ending at
+// uint64 max. Whatever encodes must decode back exactly — via the full
+// decode and via each skip entry.
+TEST(FuzzTest, StorageKeyBlocksRoundTripAdversarialDeltas) {
+  Rng rng(1007);
+  for (int iter = 0; iter < 300; ++iter) {
+    std::vector<uint64_t> keys;
+    const size_t n = 1 + rng.Uniform(600);
+    uint64_t k = rng.Bernoulli(0.3) ? 0 : rng.Uniform(1u << 20);
+    for (size_t i = 0; i < n; ++i) {
+      keys.push_back(k);
+      uint64_t delta;
+      switch (rng.Uniform(4)) {
+        case 0: delta = 1; break;                          // dense run
+        case 1: delta = 1 + rng.Uniform(100); break;       // typical
+        case 2: delta = 1 + rng.Uniform(1u << 30); break;  // large jump
+        default:
+          // Aim the tail at uint64 max without overflowing.
+          delta = (~uint64_t{0} - k) / (n - i) + 1;
+          if (delta == 0 || delta > ~uint64_t{0} - k) delta = 1;
+          break;
+      }
+      if (k > ~uint64_t{0} - delta) break;  // would overflow: stop here
+      k += delta;
+    }
+    std::string bytes;
+    std::vector<storage::SkipEntry> skips;
+    ASSERT_TRUE(storage::EncodeKeyBlocks(keys, &bytes, &skips).ok())
+        << "iter " << iter;
+    std::vector<uint64_t> back;
+    ASSERT_TRUE(
+        storage::DecodeKeyBlocks(bytes, keys.size(), &back).ok())
+        << "iter " << iter;
+    EXPECT_EQ(back, keys) << "iter " << iter;
+    std::vector<uint64_t> assembled;
+    std::vector<uint64_t> block;
+    for (const storage::SkipEntry& s : skips) {
+      ASSERT_TRUE(
+          storage::DecodeOneBlock(bytes, s.offset, s.count, &block).ok())
+          << "iter " << iter;
+      assembled.insert(assembled.end(), block.begin(), block.end());
+    }
+    EXPECT_EQ(assembled, keys) << "iter " << iter;
+  }
+}
+
+// Mutated encoded blocks must decode or error — never crash, never spin.
+TEST(FuzzTest, StorageKeyBlockDecoderSurvivesMutation) {
+  Rng rng(1008);
+  std::vector<uint64_t> keys;
+  for (uint64_t i = 0; i < 500; ++i) keys.push_back(i * 7 + 3);
+  std::string bytes;
+  std::vector<storage::SkipEntry> skips;
+  ASSERT_TRUE(storage::EncodeKeyBlocks(keys, &bytes, &skips).ok());
+  for (int iter = 0; iter < 400; ++iter) {
+    const std::string mutated = Mutate(bytes, &rng);
+    std::vector<uint64_t> out;
+    Status st = storage::DecodeKeyBlocks(mutated, keys.size(), &out);
+    if (st.ok()) {
+      // A lucky mutation may still decode; the contract that survives
+      // corruption is the count and strict monotonicity.
+      ASSERT_EQ(out.size(), keys.size());
+      for (size_t i = 1; i < out.size(); ++i) EXPECT_GT(out[i], out[i - 1]);
+    }
+  }
+}
+
+// Corrupted-page fuzzing over the whole packed file: flip random bytes
+// (in the header, directories, and payload pages alike) and drive the
+// full reader surface. Every operation must either succeed or return a
+// Status — no crashes, no sanitizer reports. Decode errors on the
+// corpus-backing path surface as empty documents by contract (doc()
+// cannot return a Status), which is also exercised here.
+TEST(FuzzTest, StorageReaderSurvivesCorruptedPages) {
+  Rng rng(1009);
+  Corpus corpus;
+  for (int i = 0; i < 3; ++i) {
+    corpus.Add(testing_util::RandomDocument(&rng, corpus.tags(), 80));
+  }
+  const std::string path =
+      ::testing::TempDir() + "/flexpath_fuzz_packed.fxp";
+  ASSERT_TRUE(
+      storage::WritePackedCorpus(corpus, TokenizerOptions{}, path).ok());
+  std::string pristine;
+  {
+    std::ifstream in(path, std::ios::binary);
+    pristine.assign((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  }
+  ASSERT_FALSE(pristine.empty());
+
+  for (int iter = 0; iter < 120; ++iter) {
+    std::string mutated = pristine;
+    const int flips = 1 + static_cast<int>(rng.Uniform(8));
+    for (int f = 0; f < flips; ++f) {
+      const size_t pos = rng.Uniform(mutated.size());
+      mutated[pos] = static_cast<char>(rng.Uniform(256));
+    }
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(mutated.data(),
+                static_cast<std::streamsize>(mutated.size()));
+    }
+    Result<std::shared_ptr<storage::StorageReader>> open =
+        storage::StorageReader::Open(path);
+    if (!open.ok()) continue;  // rejected at validation: the common case
+    const std::shared_ptr<storage::StorageReader>& reader = *open;
+
+    for (DocId d = 0; d < static_cast<DocId>(reader->DocCount()); ++d) {
+      (void)reader->DocNodeCount(d);
+      (void)reader->MaterializeDocument(d);  // Status or document
+    }
+    for (TagId t = 0; t < static_cast<TagId>(reader->header().tag_count);
+         ++t) {
+      (void)reader->TagListCount(t);
+      (void)reader->TagList(t);  // corrupt tables decode to empty
+    }
+    uint32_t df = 0;
+    uint64_t total_tf = 0;
+    for (const char* term : {"a", "the", "zzz"}) {
+      if (reader->TermInfo(term, &df, &total_tf)) {
+        (void)reader->FindPostings(term);
+        (void)reader->RangeTermFrequency(term, 0, ~uint64_t{0});
+      }
+    }
+    TagDict dict;
+    (void)reader->LoadTags(&dict);
+    (void)reader->LoadStatsTables();
+    (void)reader->InspectJson();
+  }
+  std::remove(path.c_str());
 }
 
 TEST(FuzzTest, FtExprParserSurvivesRandomInput) {
